@@ -1,0 +1,82 @@
+"""Shared infrastructure for the per-table/per-figure benchmarks.
+
+Every benchmark follows the same pattern:
+
+1. build a simulated scenario on the paper's testbed,
+2. measure the *simulated* metric (latency in simulated microseconds,
+   throughput in simulated ops/s) — pytest-benchmark's wall-clock
+   numbers only show how fast the simulator runs, the reproduced
+   numbers are printed and attached as ``extra_info``,
+3. assert the paper's qualitative shape (who wins, rough factors).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.bench import Testbed, render_table
+
+__all__ = ["run_once", "print_comparison", "Testbed", "within_factor"]
+
+
+def run_once(benchmark, fn: Callable[[], Dict]) -> Dict:
+    """Run the scenario exactly once under pytest-benchmark."""
+    result_box = {}
+
+    def wrapper():
+        result_box["result"] = fn()
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    result = result_box["result"]
+    for key, value in result.items():
+        if isinstance(value, (int, float, str)):
+            benchmark.extra_info[key] = value
+    return result
+
+
+def within_factor(measured: float, reference: float,
+                  factor: float) -> bool:
+    """True when measured is within [ref/factor, ref*factor]."""
+    if reference <= 0 or measured <= 0:
+        return False
+    return reference / factor <= measured <= reference * factor
+
+
+def print_comparison(title: str, headers: Sequence[str], rows) -> None:
+    print(render_table(headers, rows, title=title))
+
+
+def measure_flood_rate(bed, qps, make_wqe, ops_per_qp: int = 768,
+                       wave: int = 256) -> float:
+    """Aggregate verb rate (ops/s) for a deep flood across QPs.
+
+    Each QP posts ``wave``-sized bursts with only the final WR
+    signaled (ib_write_bw style) and re-posts when the wave drains.
+    The rate is computed over the post-warmup window.
+    """
+    sim = bed.sim
+    waves = max(1, ops_per_qp // wave)
+
+    def flood(qp):
+        for _ in range(waves):
+            base = qp.send_wq.cq.count
+            for index in range(wave):
+                wqe = make_wqe(qp)
+                wqe.flags |= 0x1 if index == wave - 1 else 0
+                if index != wave - 1:
+                    wqe.flags &= ~0x1
+                qp.post_send(wqe)
+            yield qp.send_wq.cq.wait_for_count(base + 1)
+
+    def run():
+        start = sim.now
+        procs = [sim.process(flood(qp), name=f"flood{i}")
+                 for i, qp in enumerate(qps)]
+        for proc in procs:
+            if not proc.triggered:
+                yield proc
+        elapsed = sim.now - start
+        total = len(qps) * waves * wave
+        return total / (elapsed / 1e9)
+
+    return bed.run(run())

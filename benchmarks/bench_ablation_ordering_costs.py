@@ -1,0 +1,118 @@
+"""Ablation: how RedN's results depend on doorbell-order fetch cost.
+
+The paper's §6 insight — "keeping WRs in server memory (to allow them
+to be modified by other RDMA verbs) is a key bottleneck. If the NIC's
+cache was made directly accessible via RDMA ... unnecessary PCIe
+round-trips on the critical path can be avoided" — predicts that a
+future RNIC with cheaper self-modification would lift construct
+throughput substantially. This ablation sweeps the managed-fetch cost
+(the PCIe round trip per doorbell-ordered WQE) and re-measures the
+hash-get latency and the doorbell-order chain slope.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import Testbed, print_comparison, run_once
+
+from repro.apps import MemcachedServer
+from repro.redn.offload import OffloadClient
+
+# (label, wqe_fetch_ns, managed_fetch_hold_ns)
+SWEEP = (
+    ("CX-5 (paper)", 350, 550),
+    ("half-cost fetch", 175, 275),
+    ("NIC-cache WQEs (§6 vision)", 40, 60),
+    ("double-cost fetch", 700, 1100),
+)
+
+SAMPLES = 8
+KEY = 0x21
+
+
+def _patch_timing(nic, fetch_ns, hold_ns):
+    nic.timing = nic.timing.with_overrides(
+        wqe_fetch_ns=fetch_ns, managed_fetch_hold_ns=hold_ns)
+
+
+def measure_get_latency(fetch_ns, hold_ns) -> float:
+    bed = Testbed(num_clients=1)
+    _patch_timing(bed.server.nic, fetch_ns, hold_ns)
+    store = MemcachedServer(bed.server)
+    store.set(KEY, b"v" * 64, force_bucket=0)
+    offload, conn = store.attach_get_offload(
+        bed.clients[0].nic, bed.client_pd(0), max_instances=SAMPLES + 2)
+    offload.post_instances(SAMPLES + 1)
+    client = OffloadClient(conn, bed.client_verbs(0))
+
+    def run():
+        latencies = []
+        for index in range(SAMPLES + 1):
+            result = yield from client.call(offload.payload_for(KEY))
+            assert result.ok
+            if index:
+                latencies.append(result.latency_ns)
+        return sum(latencies) / len(latencies) / 1000.0
+
+    return bed.run(run())
+
+
+def measure_doorbell_slope(fetch_ns, hold_ns) -> float:
+    from repro.ibv import wr_noop
+    bed = Testbed(num_clients=0)
+    _patch_timing(bed.server.nic, fetch_ns, hold_ns)
+    proc = bed.server.spawn_process("chains")
+    pd = proc.create_pd()
+
+    def chain_latency(length):
+        qp, _peer = bed.server.nic.create_loopback_pair(
+            pd, managed_send=True, send_slots=length + 4,
+            owner=proc.owner_tag)
+        for _ in range(length):
+            qp.post_send(wr_noop(signaled=True), ring_doorbell=False)
+
+        def run():
+            start = bed.sim.now
+            qp.send_wq.doorbell()
+            yield qp.send_wq.cq.wait_for_count(length)
+            return bed.sim.now - start
+
+        return bed.run(run())
+
+    return (chain_latency(16) - chain_latency(1)) / 15 / 1000.0
+
+
+def scenario():
+    results = {}
+    for label, fetch_ns, hold_ns in SWEEP:
+        results[f"{label}/get_us"] = measure_get_latency(fetch_ns,
+                                                         hold_ns)
+        results[f"{label}/slope_us"] = measure_doorbell_slope(fetch_ns,
+                                                              hold_ns)
+    return results
+
+
+def bench_ablation_ordering(benchmark):
+    results = run_once(benchmark, scenario)
+    rows = [(label,
+             f"{results[f'{label}/slope_us']:.2f}",
+             f"{results[f'{label}/get_us']:.2f}")
+            for label, _f, _h in SWEEP]
+    print_comparison(
+        "Ablation — doorbell-order fetch cost",
+        ["configuration", "doorbell slope us/verb", "hash get us"],
+        rows)
+
+    base_get = results["CX-5 (paper)/get_us"]
+    vision_get = results["NIC-cache WQEs (§6 vision)/get_us"]
+    double_get = results["double-cost fetch/get_us"]
+    # The §6 prediction: on-NIC WQE caching would cut get latency
+    # substantially; costlier fetches hurt correspondingly.
+    assert vision_get < base_get * 0.8
+    assert double_get > base_get * 1.15
+    # The chain slope tracks the fetch cost nearly linearly.
+    assert (results["NIC-cache WQEs (§6 vision)/slope_us"]
+            < results["CX-5 (paper)/slope_us"]
+            < results["double-cost fetch/slope_us"])

@@ -1,0 +1,150 @@
+"""Figure 16: surviving a Memcached process crash (paper §5.6).
+
+Timeline experiment: a client issues gets continuously; at t=2s the
+Memcached process is killed and immediately restarted by the OS.
+
+* **vanilla** — the RDMA/service resources die with the process; the
+  OS respawn takes ~1 s to bootstrap plus ~1.25 s to rebuild metadata
+  and hash tables: a >2 s hole in served requests.
+* **RedN** — the offload's queues and regions belong to an empty hull
+  parent; the NIC keeps serving gets through the crash without a
+  single failed request.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import Testbed, print_comparison, run_once
+
+from repro.apps import MemcachedServer, RpcServer, STATUS_OK
+from repro.net import CrashInjector, RestartPolicy
+from repro.redn.offload import OffloadClient
+
+RUN_NS = 6_000_000_000            # 6 s timeline
+CRASH_NS = 2_000_000_000          # kill at t=2 s
+BUCKET_NS = 250_000_000           # 250 ms histogram buckets
+THINK_NS = 2_000_000              # ~500 gets/s offered load
+TIMEOUT_NS = 50_000_000           # client request timer
+KEY = 0x31
+
+
+def _bucketize(completions):
+    buckets = [0] * (RUN_NS // BUCKET_NS)
+    for timestamp in completions:
+        index = min(len(buckets) - 1, timestamp // BUCKET_NS)
+        buckets[index] += 1
+    return buckets
+
+
+def measure_vanilla():
+    """RPC service without a hull: crash -> outage -> rebuild."""
+    bed = Testbed(num_clients=1)
+    state = {}
+
+    def build_service():
+        store = MemcachedServer(bed.server, hull_parent=False,
+                                name=f"mc{len(state)}")
+        store.set(KEY, b"v" * 64)
+        server = RpcServer(store, mode="polling", workers=1,
+                           name=f"rpc{len(state)}")
+        client = server.connect(bed.clients[0].nic, bed.client_pd(0))
+        server.start()
+        state["store"] = store
+        state["client"] = client
+
+    build_service()
+    injector = CrashInjector(bed.sim, bed.server)
+    injector.kill_process_at(CRASH_NS, state["store"].process,
+                             on_restart=build_service,
+                             restart=RestartPolicy())
+
+    completions, failures = [], [0]
+
+    def reader():
+        while bed.sim.now < RUN_NS:
+            status, _v, _lat = yield from state["client"].get(
+                KEY, timeout_ns=TIMEOUT_NS)
+            if status == STATUS_OK:
+                completions.append(bed.sim.now)
+            else:
+                failures[0] += 1
+            yield bed.sim.timeout(THINK_NS)
+
+    bed.sim.process(reader(), name="reader")
+    bed.sim.run(until=RUN_NS + 200_000_000)
+    return _bucketize(completions), failures[0]
+
+
+def measure_redn():
+    """Hull-parented offload: the NIC serves straight through."""
+    bed = Testbed(num_clients=1)
+    store = MemcachedServer(bed.server, hull_parent=True)
+    store.set(KEY, b"v" * 64)
+    expected_gets = RUN_NS // THINK_NS + 16
+    offload, conn = store.attach_get_offload(
+        bed.clients[0].nic, bed.client_pd(0),
+        max_instances=expected_gets)
+    offload.post_instances(expected_gets)
+    client = OffloadClient(conn, bed.client_verbs(0))
+
+    injector = CrashInjector(bed.sim, bed.server)
+    injector.kill_process_at(CRASH_NS, store.process,
+                             restart=RestartPolicy(),
+                             on_restart=store.respawn)
+
+    completions, failures = [], [0]
+
+    def reader():
+        while bed.sim.now < RUN_NS:
+            result = yield from client.call(offload.payload_for(KEY),
+                                            timeout_ns=TIMEOUT_NS)
+            if result.ok:
+                completions.append(bed.sim.now)
+            else:
+                failures[0] += 1
+            yield bed.sim.timeout(THINK_NS)
+
+    bed.sim.process(reader(), name="reader")
+    bed.sim.run(until=RUN_NS + 200_000_000)
+    return _bucketize(completions), failures[0]
+
+
+def scenario():
+    vanilla_buckets, vanilla_failures = measure_vanilla()
+    redn_buckets, redn_failures = measure_redn()
+    vanilla_zero = sum(1 for count in vanilla_buckets if count == 0)
+    return {
+        "vanilla_buckets": vanilla_buckets,
+        "redn_buckets": redn_buckets,
+        "vanilla_failures": vanilla_failures,
+        "redn_failures": redn_failures,
+        "vanilla_outage_s": vanilla_zero * BUCKET_NS / 1e9,
+        "redn_min_bucket": min(redn_buckets),
+    }
+
+
+def bench_fig16(benchmark):
+    results = run_once(benchmark, scenario)
+    rows = []
+    for index in range(len(results["vanilla_buckets"])):
+        t = index * BUCKET_NS / 1e9
+        rows.append((f"{t:.2f}s",
+                     results["vanilla_buckets"][index],
+                     results["redn_buckets"][index]))
+    print_comparison("Fig 16 — gets served per 250ms bucket "
+                     "(crash at t=2s)",
+                     ["t", "vanilla", "RedN (hull)"], rows)
+    print(f"\n  vanilla outage: ~{results['vanilla_outage_s']:.2f}s "
+          f"({results['vanilla_failures']} failed gets); paper: "
+          f">= 2.25s")
+    print(f"  RedN failed gets: {results['redn_failures']} "
+          f"(paper: no disruption)")
+
+    # Vanilla shows a multi-second hole (~1s bootstrap + 1.25s rebuild).
+    assert results["vanilla_outage_s"] >= 1.75
+    assert results["vanilla_failures"] > 0
+    # RedN never misses a beat: every bucket keeps serving, zero fails.
+    assert results["redn_failures"] == 0
+    assert results["redn_min_bucket"] > 0

@@ -1,0 +1,110 @@
+"""Figure 7: latency of individual RDMA verbs at 64B IO.
+
+Paper: remote NOOP 1.21 us (doorbell+fetch dominate), WRITE 1.6 us
+(posted PCIe), READ / CAS / ADD ~1.8 us (non-posted PCIe round trip),
+calc verbs (MAX) slightly above; remote-vs-loopback NOOP difference
+estimates the network at ~0.25 us RTT.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import Testbed, print_comparison, run_once, within_factor
+
+from repro.ibv import (
+    VerbsContext,
+    wr_calc,
+    wr_cas,
+    wr_fetch_add,
+    wr_noop,
+    wr_read,
+    wr_write,
+)
+from repro.bench.stats import summarize
+from repro.nic import Opcode
+
+PAPER_US = {
+    "NOOP": 1.21,
+    "WRITE": 1.60,
+    "READ": 1.80,
+    "ADD": 1.80,
+    "CAS": 1.80,
+    "MAX": 1.85,
+    "NOOP (loopback)": 0.96,
+}
+
+SAMPLES = 50
+IO_SIZE = 64
+
+
+def _measure(bed, qp, verbs, make_wqe):
+    def run():
+        latencies = []
+        for _ in range(SAMPLES):
+            start = bed.sim.now
+            yield from verbs.execute_sync_checked(qp, make_wqe())
+            latencies.append(bed.sim.now - start
+                             - verbs.post_overhead_ns)
+        return latencies
+
+    return summarize(bed.run(run()))["avg"] / 1000.0
+
+
+def scenario():
+    bed = Testbed(num_clients=1)
+    server_proc = bed.server.spawn_process("target")
+    server_pd = server_proc.create_pd()
+    verbs = VerbsContext(bed.sim, name="bench-verbs")
+
+    server_qp = server_proc.create_qp(server_pd, name="srv")
+    client_qp = bed.clients[0].nic.create_qp(bed.client_pd(0),
+                                             name="cli")
+    server_qp.connect(client_qp)
+
+    local_buf = bed.clients[0].memory.alloc(IO_SIZE, owner="client")
+    remote = server_proc.alloc(IO_SIZE, label="target")
+    remote_mr = server_pd.register(remote)
+
+    results = {}
+    results["WRITE"] = _measure(bed, client_qp, verbs, lambda: wr_write(
+        local_buf.addr, IO_SIZE, remote.addr, remote_mr.rkey))
+    results["READ"] = _measure(bed, client_qp, verbs, lambda: wr_read(
+        local_buf.addr, IO_SIZE, remote.addr, remote_mr.rkey))
+    results["CAS"] = _measure(bed, client_qp, verbs, lambda: wr_cas(
+        remote.addr, remote_mr.rkey, 0, 1,
+        result_laddr=local_buf.addr))
+    results["ADD"] = _measure(bed, client_qp, verbs,
+                              lambda: wr_fetch_add(
+                                  remote.addr, remote_mr.rkey, 1,
+                                  result_laddr=local_buf.addr))
+    results["MAX"] = _measure(bed, client_qp, verbs, lambda: wr_calc(
+        Opcode.MAX, remote.addr, remote_mr.rkey, 5,
+        result_laddr=local_buf.addr))
+    results["NOOP"] = _measure(bed, client_qp, verbs,
+                               lambda: wr_noop(signaled=True))
+
+    # Loopback NOOP (right-hand side of Fig 7): network cost estimate.
+    lo_a, _lo_b = bed.server.nic.create_loopback_pair(server_pd)
+    results["NOOP (loopback)"] = _measure(bed, lo_a, verbs,
+                                          lambda: wr_noop(signaled=True))
+    results["network_rtt_us"] = results["NOOP"] - results["NOOP (loopback)"]
+    return results
+
+
+def bench_fig7(benchmark):
+    results = run_once(benchmark, scenario)
+    rows = [(verb, f"{results[verb]:.2f}", f"{PAPER_US[verb]:.2f}")
+            for verb in PAPER_US]
+    rows.append(("network RTT", f"{results['network_rtt_us']:.2f}",
+                 "0.25"))
+    print_comparison("Fig 7 — verb latency (64B IO)",
+                     ["verb", "measured us", "paper us"], rows)
+
+    for verb, reference in PAPER_US.items():
+        assert within_factor(results[verb], reference, 1.25), \
+            f"{verb}: {results[verb]:.2f}us vs paper {reference}us"
+    # Ordering relations the paper reports.
+    assert results["NOOP"] < results["WRITE"] < results["READ"] + 0.2
+    assert 0.15 <= results["network_rtt_us"] <= 0.40

@@ -1,0 +1,100 @@
+"""Figure 8: execution latency of NOOP chains under ordering modes.
+
+Paper: a single NOOP costs 1.21 us (initial doorbell); each additional
+verb costs ~0.17 us under WQ order (prefetch amortized), ~0.19 us under
+completion order (WAIT bookkeeping), and ~0.54 us under doorbell order
+("the NIC has to fetch WRs from memory one-by-one").
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import Testbed, print_comparison, run_once, within_factor
+
+from repro.ibv import VerbsContext, wr_noop, wr_wait
+
+CHAIN_LENGTHS = (1, 2, 4, 8, 16)
+
+PAPER_PER_VERB_US = {
+    "wq": 0.17,
+    "completion": 0.19,
+    "doorbell": 0.54,
+}
+
+
+def _measure_chain(bed, proc, pd, verbs, mode: str, length: int) -> float:
+    """Latency (us) from doorbell to the chain's final completion."""
+    qp, _peer = bed.server.nic.create_loopback_pair(
+        pd, managed_send=(mode == "doorbell"), send_slots=4 * length + 8,
+        owner=proc.owner_tag)
+    own_cq = qp.send_wq.cq
+
+    base_count = own_cq.count
+    for index in range(length):
+        if mode == "completion" and index > 0:
+            # Each verb waits for its predecessor's completion.
+            qp.post_send(wr_wait(own_cq.cq_num, base_count + index),
+                         ring_doorbell=False)
+        qp.post_send(wr_noop(signaled=True), ring_doorbell=False)
+
+    def run():
+        start = bed.sim.now
+        qp.send_wq.doorbell()
+        done = own_cq.wait_for_count(base_count + length)
+        yield done
+        return bed.sim.now - start
+
+    return bed.run(run()) / 1000.0
+
+
+def scenario():
+    bed = Testbed(num_clients=1)
+    proc = bed.server.spawn_process("chains")
+    pd = proc.create_pd()
+    verbs = VerbsContext(bed.sim)
+
+    curves = {}
+    for mode in ("wq", "completion", "doorbell"):
+        curves[mode] = [
+            _measure_chain(bed, proc, pd, verbs, mode, length)
+            for length in CHAIN_LENGTHS]
+
+    results = {}
+    for mode, curve in curves.items():
+        # Per-verb slope from the longest span (16 - 1 verbs).
+        slope = (curve[-1] - curve[0]) / (CHAIN_LENGTHS[-1]
+                                          - CHAIN_LENGTHS[0])
+        results[f"{mode}_single_us"] = curve[0]
+        results[f"{mode}_per_verb_us"] = slope
+        results[f"{mode}_curve"] = curve
+    return results
+
+
+def bench_fig8(benchmark):
+    results = run_once(benchmark, scenario)
+    rows = []
+    for mode in ("wq", "completion", "doorbell"):
+        rows.append((mode,
+                     f"{results[f'{mode}_single_us']:.2f}",
+                     f"{results[f'{mode}_per_verb_us']:.2f}",
+                     f"{PAPER_PER_VERB_US[mode]:.2f}"))
+    print_comparison(
+        "Fig 8 — chain latency by ordering mode",
+        ["mode", "1-verb us", "per-verb us", "paper per-verb us"], rows)
+    for mode in ("wq", "completion", "doorbell"):
+        print("  curve", mode, [f"{v:.2f}" for v in
+                                results[f"{mode}_curve"]])
+
+    # Shape: stricter ordering costs strictly more per verb, with
+    # doorbell ordering far above the others.
+    wq = results["wq_per_verb_us"]
+    completion = results["completion_per_verb_us"]
+    doorbell = results["doorbell_per_verb_us"]
+    assert wq < completion < doorbell
+    assert doorbell >= 2.5 * completion
+    for mode, reference in PAPER_PER_VERB_US.items():
+        measured = results[f"{mode}_per_verb_us"]
+        assert within_factor(measured, reference, 1.35), \
+            f"{mode}: {measured:.3f} vs {reference}"

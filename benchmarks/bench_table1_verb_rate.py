@@ -1,0 +1,81 @@
+"""Table 1: verb-processing bandwidth per ConnectX generation.
+
+Paper (ib_write_bw, 64B writes, not network-bound):
+
+    ConnectX-3 (2 PUs)   15 M verbs/s
+    ConnectX-5 (8 PUs)   63 M verbs/s
+    ConnectX-6 (16 PUs) 112 M verbs/s
+
+The doubling tracks the processing-unit count — reproduced here by
+flooding small WRITEs across enough QPs to occupy every PU.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import (
+    Testbed,
+    measure_flood_rate,
+    print_comparison,
+    run_once,
+    within_factor,
+)
+
+from repro.ibv import wr_write
+from repro.nic import CONNECTX3, CONNECTX5, CONNECTX6
+
+PAPER_MVERBS = {
+    "ConnectX-3": 15.0,
+    "ConnectX-5": 63.0,
+    "ConnectX-6": 112.0,
+}
+
+IO_SIZE = 64
+
+
+def _rate_for_model(model) -> float:
+    bed = Testbed(num_clients=1, model=model)
+    proc = bed.server.spawn_process("sink")
+    pd = proc.create_pd()
+    sink = proc.alloc(IO_SIZE * 64, label="sink")
+    sink_mr = pd.register(sink)
+
+    num_qps = 2 * model.pus_per_port
+    qps = []
+    client_nic = bed.clients[0].nic
+    for index in range(num_qps):
+        server_qp = proc.create_qp(pd, name=f"t1s{index}")
+        client_qp = client_nic.create_qp(
+            bed.client_pd(0), send_slots=512, name=f"t1c{index}")
+        server_qp.connect(client_qp)
+        qps.append(client_qp)
+
+    src = client_nic.memory.alloc(IO_SIZE, owner="client")
+
+    def make_wqe(_qp):
+        return wr_write(src.addr, IO_SIZE, sink.addr, sink_mr.rkey,
+                        signaled=False)
+
+    return measure_flood_rate(bed, qps, make_wqe) / 1e6
+
+
+def scenario():
+    return {model.name: _rate_for_model(model)
+            for model in (CONNECTX3, CONNECTX5, CONNECTX6)}
+
+
+def bench_table1(benchmark):
+    results = run_once(benchmark, scenario)
+    rows = [(name, f"{results[name]:.1f}", f"{PAPER_MVERBS[name]:.0f}")
+            for name in PAPER_MVERBS]
+    print_comparison("Table 1 — verb rate by NIC generation",
+                     ["RNIC", "measured M/s", "paper M/s"], rows)
+
+    for name, reference in PAPER_MVERBS.items():
+        assert within_factor(results[name], reference, 1.3), \
+            f"{name}: {results[name]:.1f}M vs {reference}M"
+    # The headline: rate roughly doubles per generation.
+    assert results["ConnectX-5"] > 3 * results["ConnectX-3"]
+    assert results["ConnectX-6"] > 1.5 * results["ConnectX-5"]

@@ -1,0 +1,100 @@
+"""Table 2: WR-count breakdown of RedN constructs.
+
+Paper:
+
+    if               1C + 1A + 3E
+    while (unrolled) 1C + 1A + 3E   (per iteration)
+    while (recycled) 3C + 2A + 4E   (per lap: +2 READs +1 ADD +1 ENABLE)
+
+plus the 48-bit operand limit (the id field of the ctrl word).
+
+Reproduced by *introspection*: the builder tags every WR it posts and
+classifies opcodes into the paper's copy/atomic/ordering categories.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from _common import Testbed, print_comparison, run_once
+
+from repro.ibv import wr_cas, wr_write
+from repro.nic import ctrl_word
+from repro.redn import ProgramBuilder, RecycledLoop, RednContext
+
+
+def _context(bed):
+    proc = bed.server.spawn_process("t2")
+    return RednContext(bed.server.nic, proc.create_pd(), process=proc)
+
+
+def _if_cost(ctx):
+    builder = ProgramBuilder(ctx, name="t2if")
+    scratch, scratch_mr = ctx.alloc_registered(64)
+    ctl = builder.control_queue(name="ctl")
+    worker = builder.worker_queue(name="wrk")
+    branches = builder.worker_queue(name="brn")
+    live = wr_write(scratch.addr, 8, scratch.addr + 8, scratch_mr.rkey)
+    live.wr_id = 1
+    branch = builder.template(branches, live, tag="if.branch")
+    builder.emit_if(ctl, worker, branch, compare_id=1, tag="if")
+    return builder.cost("if")
+
+
+def _recycled_cost(ctx):
+    builder = ProgramBuilder(ctx, name="t2rec")
+    scratch, scratch_mr = ctx.alloc_registered(64)
+    trigger_qp, _peer = ctx.nic.create_loopback_pair(
+        ctx.pd, name="t2-trig")
+    lane = builder.worker_queue(slots=4, name="lane")
+    resp = builder.template(
+        lane, wr_write(scratch.addr, 8, scratch.addr + 8,
+                       scratch_mr.rkey), tag="while.resp")
+    loop = RecycledLoop(builder, trigger_qp.recv_wq.cq, name="t2loop",
+                        tag="while")
+    loop.body(wr_cas(resp.field_addr("ctrl"), lane.rkey, 0, 0,
+                     signaled=True), tag="while.cas")
+    loop.restore(resp, offset=0, length=8)     # re-disarm the template
+    loop.restore(resp, offset=8, length=56)    # restore patched fields
+    loop.rearm(lane)                           # re-enable the response
+    loop.rearm(trigger_qp.recv_wq)             # recycle the trigger ring
+    loop.build()
+    return builder.cost("while")
+
+
+def scenario():
+    bed = Testbed(num_clients=1)
+    if_cost = _if_cost(_context(bed))
+    rec_cost = _recycled_cost(_context(bed))
+    return {
+        "if": str(if_cost),
+        "if_tuple": (if_cost.copies, if_cost.atomics, if_cost.ordering),
+        "while_recycled": str(rec_cost),
+        "while_recycled_tuple": (rec_cost.copies, rec_cost.atomics,
+                                 rec_cost.ordering),
+        "operand_limit_bits": 48,
+    }
+
+
+def bench_table2(benchmark):
+    results = run_once(benchmark, scenario)
+    rows = [
+        ("if", results["if"], "1C + 1A + 3E"),
+        ("while (unrolled, per iter)", results["if"], "1C + 1A + 3E"),
+        ("while (recycled, per lap)", results["while_recycled"],
+         "3C + 2A + 4E"),
+        ("operand limit", f"{results['operand_limit_bits']} bits",
+         "48 bits"),
+    ]
+    print_comparison("Table 2 — construct WR breakdown",
+                     ["construct", "measured", "paper"], rows)
+
+    assert results["if_tuple"] == (1, 1, 3)
+    assert results["while_recycled_tuple"] == (3, 2, 4)
+    # The operand limit is enforced by the ctrl-word packer.
+    ctrl_word(0, (1 << 48) - 1)
+    with pytest.raises(ValueError):
+        ctrl_word(0, 1 << 48)

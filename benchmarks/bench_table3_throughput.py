@@ -1,0 +1,231 @@
+"""Table 3: throughput of verbs and RedN constructs (one CX-5 port).
+
+Paper:
+
+    CAS    8.4 M/s   (serialized by PCIe atomic concurrency control)
+    ADD    ~CAS      (the text: atomics are ~8x below regular verbs)
+    READ   65 M/s
+    WRITE  63 M/s
+    MAX    63 M/s    (calc verbs don't pay atomic serialization)
+    if                0.7 M/s   (doorbell ordering binds)
+    while (unrolled)  0.7 M/s   (same per-iteration chain as if)
+    while (recycled)  0.3 M/s   (Table 2's extra verbs per lap)
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import (
+    Testbed,
+    measure_flood_rate,
+    print_comparison,
+    run_once,
+    within_factor,
+)
+
+from repro.ibv import (
+    wr_calc,
+    wr_cas,
+    wr_fetch_add,
+    wr_read,
+    wr_recv,
+    wr_send,
+    wr_write,
+)
+from repro.nic import Opcode, Sge
+from repro.redn import ProgramBuilder, RecycledLoop, RednContext
+
+PAPER_MOPS = {
+    "CAS": 8.4,
+    "ADD": 8.4,
+    "READ": 65.0,
+    "WRITE": 63.0,
+    "MAX": 63.0,
+    "if": 0.7,
+    "while (unrolled)": 0.7,
+    "while (recycled)": 0.3,
+}
+
+IO_SIZE = 64
+
+
+def _verb_rig(bed):
+    proc = bed.server.spawn_process("sink")
+    pd = proc.create_pd()
+    sink = proc.alloc(4096, label="sink")
+    sink_mr = pd.register(sink)
+    qps = []
+    for index in range(16):
+        server_qp = proc.create_qp(pd, name=f"t3s{index}")
+        client_qp = bed.clients[0].nic.create_qp(
+            bed.client_pd(0), send_slots=512, name=f"t3c{index}")
+        server_qp.connect(client_qp)
+        qps.append(client_qp)
+    src = bed.clients[0].memory.alloc(IO_SIZE, owner="client")
+    return qps, src, sink, sink_mr
+
+
+def _measure_verbs(bed):
+    qps, src, sink, sink_mr = _verb_rig(bed)
+    makers = {
+        "WRITE": lambda qp: wr_write(src.addr, IO_SIZE, sink.addr,
+                                     sink_mr.rkey, signaled=False),
+        "READ": lambda qp: wr_read(src.addr, IO_SIZE, sink.addr,
+                                   sink_mr.rkey, signaled=False),
+        "CAS": lambda qp: wr_cas(sink.addr, sink_mr.rkey, 0, 1,
+                                 signaled=False),
+        "ADD": lambda qp: wr_fetch_add(sink.addr, sink_mr.rkey, 1,
+                                       signaled=False),
+        "MAX": lambda qp: wr_calc(Opcode.MAX, sink.addr, sink_mr.rkey,
+                                  1, signaled=False),
+    }
+    ops = {"WRITE": 768, "READ": 768, "MAX": 768, "CAS": 384,
+           "ADD": 384}
+    return {name: measure_flood_rate(bed, qps, maker,
+                                     ops_per_qp=ops[name]) / 1e6
+            for name, maker in makers.items()}
+
+
+def _make_triggered_ifs(ctx, builder, scratch, scratch_mr, lanes,
+                        instances):
+    """``lanes`` trigger-driven if-chains, ``instances`` deep each.
+
+    Each instance: SEND trigger -> RECV injects the operand -> CAS
+    tests it -> branch WRITE fires. Returns (trigger QPs, branch CQ).
+    """
+    trigger_qps = []
+    branch_queues = []
+    for lane in range(lanes):
+        worker = builder.worker_queue(slots=4 * instances + 8,
+                                      name=f"if-w{lane}")
+        ctl = builder.control_queue(slots=8 * instances + 8,
+                                    name=f"if-ctl{lane}")
+        server_qp, client_qp = ctx.nic.create_loopback_pair(
+            ctx.pd, recv_slots=4 * instances + 8, name=f"if-trig{lane}")
+        branches = builder.worker_queue(slots=instances + 8,
+                                        name=f"if-b{lane}")
+        for instance in range(instances):
+            live = wr_write(scratch.addr, 8, scratch.addr + 8,
+                            scratch_mr.rkey)
+            live.wr_id = 1
+            branch = builder.template(branches, live,
+                                      tag=f"if{lane}.{instance}")
+            builder.wait(ctl, server_qp.recv_wq.cq, instance + 1)
+            refs = builder.emit_if(ctl, worker, branch, compare_id=1,
+                                   tag=f"if{lane}.{instance}")
+            server_qp.post_recv(wr_recv(
+                sges=[Sge(refs.cas.field_addr("operand0"), 8)]))
+        trigger_qps.append(client_qp)
+        branch_queues.append(branches)
+    return trigger_qps, branch_queues
+
+
+def _measure_if(bed, instances=96, lanes=4):
+    ctx = RednContext(bed.server.nic,
+                      bed.server.spawn_process("ifsrv").create_pd(),
+                      owner="ifsrv")
+    builder = ProgramBuilder(ctx, name="t3if")
+    scratch, scratch_mr = ctx.alloc_registered(64, label="t3-scratch")
+    trigger_qps, branch_queues = _make_triggered_ifs(
+        ctx, builder, scratch, scratch_mr, lanes, instances)
+
+    sim = bed.sim
+
+    def trigger_all(qp):
+        for _ in range(instances):
+            qp.post_send(wr_send(scratch.addr, 8, signaled=False))
+            yield sim.timeout(100)   # posting cadence, never the cap
+
+    def run():
+        start = sim.now
+        procs = [sim.process(trigger_all(qp)) for qp in trigger_qps]
+        done = [queue.cq.wait_for_count(instances)
+                for queue in branch_queues]
+        for event in done:
+            if not event.triggered:
+                yield event
+        total = lanes * instances
+        return total / ((sim.now - start) / 1e9)
+
+    return bed.run(run()) / 1e6
+
+
+def _measure_recycled(bed, laps=60, lanes=4):
+    ctx = RednContext(bed.server.nic,
+                      bed.server.spawn_process("recsrv").create_pd(),
+                      owner="recsrv")
+    builder = ProgramBuilder(ctx, name="t3rec")
+    scratch, scratch_mr = ctx.alloc_registered(64, label="rec-scratch")
+    sim = bed.sim
+
+    loops = []
+    trigger_qps = []
+    for lane in range(lanes):
+        server_qp, client_qp = ctx.nic.create_loopback_pair(
+            ctx.pd, recv_slots=4 * laps + 8, name=f"rec-trig{lane}")
+        resp_lane = builder.worker_queue(slots=4, name=f"rec-l{lane}")
+        resp = builder.template(
+            resp_lane, wr_write(scratch.addr, 8, scratch.addr + 8,
+                                scratch_mr.rkey), tag="while.resp")
+        loop = RecycledLoop(builder, server_qp.recv_wq.cq,
+                            name=f"rec{lane}")
+        loop.body(wr_cas(resp.field_addr("ctrl"), resp_lane.rkey, 0, 0,
+                         signaled=True), tag="while.cas")
+        loop.restore(resp, offset=0, length=8)
+        loop.restore(resp, offset=8, length=56)
+        loop.rearm(resp_lane)
+        loop.rearm(server_qp.recv_wq)   # recycle the trigger ring
+        loop.build()
+        loop.start()
+        for _ in range(laps):
+            server_qp.post_recv(wr_recv(scratch.addr + 16, 8))
+        loops.append(loop)
+        trigger_qps.append(client_qp)
+
+    def trigger_all(qp):
+        for _ in range(laps):
+            qp.post_send(wr_send(scratch.addr, 8, signaled=False))
+            yield sim.timeout(100)
+
+    def run():
+        start = sim.now
+        for qp in trigger_qps:
+            sim.process(trigger_all(qp))
+        target = laps * loops[0].ring_wrs
+        while any(loop.ring.wq.fetched_count < target
+                  for loop in loops):
+            yield sim.timeout(20_000)
+        total = lanes * laps
+        return total / ((sim.now - start) / 1e9)
+
+    return bed.run(run()) / 1e6
+
+
+def scenario():
+    bed = Testbed(num_clients=1)
+    results = _measure_verbs(bed)
+    results["if"] = _measure_if(bed)
+    # Per the paper, unrolled while iterations are the same chain as
+    # if: "their throughput is identical" (§5.1.3).
+    results["while (unrolled)"] = results["if"]
+    results["while (recycled)"] = _measure_recycled(bed)
+    return results
+
+
+def bench_table3(benchmark):
+    results = run_once(benchmark, scenario)
+    rows = [(name, f"{results[name]:.2f}", f"{PAPER_MOPS[name]:.1f}")
+            for name in PAPER_MOPS]
+    print_comparison("Table 3 — verb/construct throughput (1 port)",
+                     ["operation", "measured M/s", "paper M/s"], rows)
+
+    for name, reference in PAPER_MOPS.items():
+        assert within_factor(results[name], reference, 1.6), \
+            f"{name}: {results[name]:.2f}M vs {reference}M"
+    # Structural relations the paper highlights.
+    assert results["WRITE"] > 6 * results["CAS"]      # atomics ~8x lower
+    assert results["MAX"] > 6 * results["CAS"]        # calc != atomic
+    assert results["if"] < results["CAS"] / 5         # doorbell binds
+    assert results["while (recycled)"] < results["if"]

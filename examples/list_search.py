@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Remote linked-list search on the NIC, with and without break.
+
+Builds the Fig 12 pointer-chasing program: each iteration's READ lands
+the node's `next` pointer directly inside the following iteration's
+READ WQE, a WRITE fans the client's compare word into the iteration's
+CAS, and the CAS either arms a response (plain) or a break WRITE that
+stops the loop (Fig 6).
+
+Run:  python examples/list_search.py
+"""
+
+from repro.bench import Testbed, render_table
+from repro.datastructs import LinkedList, SlabStore
+from repro.offloads.list_traversal import ListTraversalOffload
+from repro.redn import RednContext
+from repro.redn.offload import OffloadClient, OffloadConnection
+
+KEYS = [0x10 * (i + 1) for i in range(8)]   # 8-node list
+
+
+def build(use_break: bool):
+    bed = Testbed(num_clients=1)
+    process = bed.server.spawn_process("list-server")
+    pd = process.create_pd()
+    slab_alloc = process.alloc(1 << 20, label="slab")
+    node_alloc = process.alloc(1 << 16, label="nodes")
+    data_mr = pd.register(node_alloc)
+    slab = SlabStore(bed.server.memory, slab_alloc)
+    lst = LinkedList(bed.server.memory, node_alloc, slab)
+    for key in KEYS:
+        lst.append(key, f"value-{key:#x}".encode())
+
+    ctx = RednContext(bed.server.nic, pd, process=process)
+    conn = OffloadConnection(ctx, bed.clients[0].nic, bed.client_pd(0),
+                             name="list")
+    offload = ListTraversalOffload(ctx, lst, data_mr, conn,
+                                   max_nodes=len(KEYS),
+                                   use_break=use_break)
+    client = OffloadClient(conn, bed.client_verbs(0))
+    return bed, offload, client
+
+
+def search_all(use_break: bool):
+    bed, offload, client = build(use_break)
+    rows = []
+
+    def run():
+        for index, key in enumerate(KEYS):
+            offload.post_instances(1)
+            wr_before = bed.server.nic.stats.get("total_wrs", 0)
+            result = yield from client.call(offload.payload_for(key),
+                                            timeout_ns=60_000_000)
+            assert result.ok
+            wrs = bed.server.nic.stats.get("total_wrs", 0) - wr_before
+            rows.append((index + 1, result.latency_ns / 1000.0, wrs))
+            if use_break:
+                offload.finish_request(index)
+            yield bed.sim.timeout(60_000)
+        return rows
+
+    return bed.run(run())
+
+
+def main():
+    plain = search_all(use_break=False)
+    broken = search_all(use_break=True)
+    rows = [(pos, f"{p_lat:.2f}", f"{b_lat:.2f}", b_wrs)
+            for (pos, p_lat, _pw), (_pos, b_lat, b_wrs)
+            in zip(plain, broken)]
+    print(render_table(
+        ["list position", "plain us", "break us", "break WRs"],
+        rows, title="NIC-side list traversal (8-node list)"))
+    print("\nok: the break stops the chain at the hit — deeper keys")
+    print("cost more verbs, found keys stop the loop (Fig 6/13).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""A Turing machine whose every step runs as RDMA verbs (Appendix A).
+
+Compiles three classical machines into mov-machine memory (pre-scaled
+symbols, state rows as pointers, FETCH_ADD head moves) and runs them on
+the simulated RNIC, checking each against a pure-Python oracle.
+
+Run:  python examples/turing_machine.py
+"""
+
+from repro.bench import Testbed
+from repro.redn import RednContext
+from repro.redn.turing import (
+    BINARY_INCREMENT,
+    BUSY_BEAVER_3,
+    PARITY_MACHINE,
+    NicTuringMachine,
+    run_reference,
+)
+
+CASES = [
+    (BINARY_INCREMENT, ["1", "1", "0", "1"]),   # 11 -> 12 (LSB-first)
+    (PARITY_MACHINE, ["1", "0", "1", "1", "1"]),
+    (BUSY_BEAVER_3, []),
+]
+
+
+def main():
+    bed = Testbed(num_clients=0)
+    process = bed.server.spawn_process("turing")
+    for index, (spec, tape) in enumerate(CASES):
+        ctx = RednContext(bed.server.nic, process.create_pd(),
+                          process=process, name=f"tm{index}")
+        machine = NicTuringMachine(ctx, spec, name=f"tm{index}")
+        machine.load_tape(tape)
+        wr_before = bed.server.nic.stats.get("total_wrs", 0)
+        steps = bed.run(machine.run(max_steps=300))
+        wrs = bed.server.nic.stats.get("total_wrs", 0) - wr_before
+
+        reference, ref_steps, halted = run_reference(spec, tape)
+        nic_tape = machine.read_tape(-6, max(len(reference), 8) + 12)
+        assert halted and machine.halted
+        assert steps == ref_steps
+
+        print(f"{spec.name}:")
+        print(f"  input tape : {tape or ['(blank)']}")
+        print(f"  steps      : {steps} (oracle: {ref_steps})")
+        print(f"  verbs used : {wrs} RDMA WRs, zero host computation")
+        print(f"  final tape : {[s for s in nic_tape if s != '_']}")
+        print(f"  oracle says: {[s for s in reference if s != '_']}")
+        print()
+    print("ok: RDMA is Turing complete — we just did not know it yet.")
+
+
+if __name__ == "__main__":
+    main()

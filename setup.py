@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs where the offline
+environment lacks the ``wheel`` package required by PEP-517 builds."""
+
+from setuptools import setup
+
+setup()

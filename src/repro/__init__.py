@@ -1,0 +1,21 @@
+"""repro — a full reproduction of RedN (NSDI 2022).
+
+"RDMA is Turing complete, we just did not know it yet!" showed that
+chains of self-modifying RDMA work requests on commodity ConnectX NICs
+form a Turing-complete programming target. This package reproduces the
+system on a calibrated, byte-accurate RNIC simulator:
+
+* :mod:`repro.sim` — discrete-event kernel.
+* :mod:`repro.memory` — simulated host DRAM + RDMA registration.
+* :mod:`repro.nic` — the RNIC device model (WQEs, queues, PUs, timing).
+* :mod:`repro.net` — hosts, CPU scheduling, fabric, failure injection.
+* :mod:`repro.ibv` — libibverbs-flavoured host API.
+* :mod:`repro.redn` — the paper's contribution: self-modifying RDMA
+  programs, if/while constructs, mov emulation, Turing machine.
+* :mod:`repro.offloads` — hash lookup and linked-list traversal chains.
+* :mod:`repro.datastructs` — RDMA-visible hash tables and lists.
+* :mod:`repro.apps` — Memcached-style KV store and baselines.
+* :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+"""
+
+__version__ = "1.0.0"

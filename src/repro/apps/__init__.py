@@ -1,0 +1,48 @@
+"""Applications and baselines: Memcached, RPC servers, FaRM-style KV."""
+
+from .memcached import MemcachedServer
+from .memtier import ClosedLoopClient, WorkloadMix, populate
+from .onesided import OneSidedKvClient, OneSidedKvServer
+from .protocol import (
+    OP_DELETE,
+    OP_GET,
+    OP_SET,
+    STATUS_ERROR,
+    STATUS_MISS,
+    STATUS_OK,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from .rpc import (
+    RpcClient,
+    RpcCosts,
+    RpcServer,
+    VERBS_RPC_COSTS,
+    VMA_COSTS,
+)
+
+__all__ = [
+    "ClosedLoopClient",
+    "MemcachedServer",
+    "OP_DELETE",
+    "OP_GET",
+    "OP_SET",
+    "OneSidedKvClient",
+    "OneSidedKvServer",
+    "RpcClient",
+    "RpcCosts",
+    "RpcServer",
+    "STATUS_ERROR",
+    "STATUS_MISS",
+    "STATUS_OK",
+    "VERBS_RPC_COSTS",
+    "VMA_COSTS",
+    "WorkloadMix",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "populate",
+]

@@ -1,0 +1,138 @@
+"""A Memcached-flavoured KV store with RDMA integration (paper §5.4).
+
+The paper takes a cuckoo-hashing Memcached (MemC3 lineage), adds ~700
+LoC of RDMA plumbing — registering the hash table and value storage
+with the RNIC, and storing bucket pointers **big-endian** so one READ
+can land them in WQE fields — and then serves *get* requests entirely
+from the NIC via RedN. This module is that server:
+
+* :class:`MemcachedServer` owns the cuckoo table + slab in registered
+  memory and exposes host-side ``set``/``get``/``delete`` (what the
+  two-sided RPC handler calls) plus :meth:`attach_get_offload` to hang
+  the Fig 9 chain off a client connection.
+* **Failure wiring (§5.6)**: with ``hull_parent=True``, RDMA resources
+  (queue rings, registered regions) are owned by an empty parent
+  process; the serving logic runs in a child. Killing the child leaves
+  the NIC program intact and serving. Without the hull, the OS reclaims
+  everything and the offload dies with the process — both behaviours
+  are exercised by the Fig 16 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..datastructs.cuckoo import CuckooTable
+from ..datastructs.records import BUCKET_SIZE
+from ..datastructs.slab import SlabStore
+from ..memory.region import AccessFlags, MemoryRegion, ProtectionDomain
+from ..net.node import Host, OsProcess
+from ..nic.rnic import RNIC
+from ..redn.offload import OffloadClient, OffloadConnection
+from ..redn.program import RednContext
+from ..offloads.hash_lookup import HashGetOffload
+
+__all__ = ["MemcachedServer"]
+
+
+class MemcachedServer:
+    """Cuckoo-hash KV store over registered memory on one host."""
+
+    def __init__(self, host: Host, num_buckets: int = 4096,
+                 slab_size: int = 32 * 1024 * 1024,
+                 hull_parent: bool = False, name: str = "memcached"):
+        self.host = host
+        self.name = name
+        self.hull_parent = hull_parent
+        if hull_parent:
+            # The empty hull owns every RDMA resource; the child only
+            # runs service threads ("keeping the RDMA resources tied to
+            # an empty process allows us to continue operating in spite
+            # of application failures", §5.6).
+            self.hull = host.spawn_process(f"{name}-hull")
+            self.process = host.spawn_process(name, parent=self.hull)
+            self._resource_owner = self.hull
+        else:
+            self.hull = None
+            self.process = host.spawn_process(name)
+            self._resource_owner = self.process
+
+        owner = self._resource_owner
+        self.pd: ProtectionDomain = owner.create_pd()
+        slab_alloc = owner.alloc(slab_size, label=f"{name}-slab")
+        table_alloc = owner.alloc(num_buckets * BUCKET_SIZE,
+                                  label=f"{name}-table")
+        self.table_mr: MemoryRegion = self.pd.register(
+            table_alloc, access=AccessFlags.ALL)
+        self.slab_mr: MemoryRegion = self.pd.register(
+            slab_alloc, access=AccessFlags.ALL)
+        self.slab = SlabStore(host.memory, slab_alloc)
+        self.table = CuckooTable(host.memory, table_alloc, num_buckets,
+                                 self.slab)
+        self.ctx = RednContext(host.nic, self.pd,
+                               process=self._resource_owner)
+        self.offloads = []
+        self.sets_served = 0
+        self.gets_served = 0
+
+    def __repr__(self) -> str:
+        return (f"<MemcachedServer {self.name} items={self.table.count}"
+                f"{' hull' if self.hull_parent else ''}>")
+
+    # -- host-side operations (what RPC handlers invoke) -------------------
+
+    def set(self, key: int, value: bytes,
+            force_bucket: Optional[int] = None) -> None:
+        self.table.insert(key, value, force_bucket=force_bucket)
+        self.sets_served += 1
+
+    def get(self, key: int) -> Optional[bytes]:
+        self.gets_served += 1
+        return self.table.lookup(key)
+
+    def delete(self, key: int) -> bool:
+        return self.table.delete(key)
+
+    # -- RDMA/RedN integration ------------------------------------------------
+
+    def attach_get_offload(self, client_nic: RNIC,
+                           client_pd: ProtectionDomain,
+                           parallel: bool = False,
+                           max_instances: int = 64,
+                           name: str = "") -> Tuple[HashGetOffload,
+                                                    OffloadConnection]:
+        """Wire a client up for NIC-served gets (the §5.4 integration)."""
+        buckets = self.table.NUM_HASHES
+        conn = OffloadConnection(
+            self.ctx, client_nic, client_pd,
+            num_lanes=buckets if parallel else 1,
+            recv_slots=8 * max_instances + 16,
+            send_slots=4 * max_instances + 16,
+            name=name or f"{self.name}-off{len(self.offloads)}")
+        offload = HashGetOffload(self.ctx, self.table, self.table_mr,
+                                 conn, parallel=parallel,
+                                 buckets=buckets,
+                                 max_instances=max_instances,
+                                 name=f"{self.name}-hashget")
+        self.offloads.append(offload)
+        return offload, conn
+
+    # -- failure injection hooks (§5.6 / Fig 16) --------------------------------
+
+    def crash(self) -> None:
+        """Kill the serving process (not the hull, if any)."""
+        self.host.crash_process(self.process)
+
+    def respawn(self) -> None:
+        """The OS restarted us: new child process, same resources when
+        hull-parented; without a hull the caller must rebuild state."""
+        self.process = self.host.spawn_process(
+            self.name, parent=self.hull)
+        if self.hull is not None:
+            self._resource_owner = self.hull
+
+    @property
+    def rdma_resources_alive(self) -> bool:
+        """Are the queue rings and regions still owned by a live
+        process (i.e. will the NIC program keep running)?"""
+        return self._resource_owner.alive

@@ -1,0 +1,103 @@
+"""Memtier-style workload generation (paper §5.4/§5.5).
+
+The paper benchmarks Memcached with memtier_benchmark: closed-loop
+clients issuing gets/sets over distinct key sets. This module gives the
+same shape for any backend exposing ``get``/``set`` process-generator
+methods:
+
+* :class:`ClosedLoopClient` — issues operations back-to-back, each with
+  its own latency sample, from a private key set accessed sequentially
+  (the §5.5 setup: "each reader/writer is assigned a distinct set of
+  10K keys ... accessed by the clients sequentially").
+* :class:`WorkloadMix` — get/set ratio control.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Sequence
+
+from ..sim.core import Simulator
+from ..bench.stats import LatencyRecorder
+
+__all__ = ["ClosedLoopClient", "WorkloadMix", "populate"]
+
+
+class WorkloadMix:
+    """Deterministic get/set interleaving by ratio."""
+
+    def __init__(self, get_fraction: float = 1.0):
+        if not 0.0 <= get_fraction <= 1.0:
+            raise ValueError("get_fraction must be within [0, 1]")
+        self.get_fraction = get_fraction
+        self._accumulator = 0.0
+
+    def next_is_get(self) -> bool:
+        self._accumulator += self.get_fraction
+        if self._accumulator >= 1.0:
+            self._accumulator -= 1.0
+            return True
+        return False
+
+
+class ClosedLoopClient:
+    """One closed-loop load generator bound to a backend."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 keys: Sequence[int], value_size: int,
+                 get_fn: Callable[[int], Generator],
+                 set_fn: Optional[Callable[[int, bytes], Generator]] = None,
+                 mix: Optional[WorkloadMix] = None,
+                 think_time_ns: int = 0):
+        self.sim = sim
+        self.name = name
+        self.keys = list(keys)
+        self.value_size = value_size
+        self.get_fn = get_fn
+        self.set_fn = set_fn
+        self.mix = mix or WorkloadMix(1.0)
+        self.think_time_ns = think_time_ns
+        self.get_latencies = LatencyRecorder(f"{name}-get")
+        self.set_latencies = LatencyRecorder(f"{name}-set")
+        self.operations = 0
+        self.failures = 0
+        self._key_cursor = 0
+
+    def _next_key(self) -> int:
+        key = self.keys[self._key_cursor % len(self.keys)]
+        self._key_cursor += 1
+        return key
+
+    def run(self, num_ops: int) -> Generator:
+        """Issue ``num_ops`` operations back-to-back."""
+        for _ in range(num_ops):
+            yield from self.step()
+        return self.operations
+
+    def run_until(self, deadline_ns: int) -> Generator:
+        """Issue operations until simulated time passes the deadline."""
+        while self.sim.now < deadline_ns:
+            yield from self.step()
+        return self.operations
+
+    def step(self) -> Generator:
+        key = self._next_key()
+        start = self.sim.now
+        if self.mix.next_is_get() or self.set_fn is None:
+            ok = yield from self.get_fn(key)
+            recorder = self.get_latencies
+        else:
+            value = bytes([key & 0xFF]) * self.value_size
+            ok = yield from self.set_fn(key, value)
+            recorder = self.set_latencies
+        recorder.record(self.sim.now - start)
+        self.operations += 1
+        if ok is False:
+            self.failures += 1
+        if self.think_time_ns:
+            yield self.sim.timeout(self.think_time_ns)
+
+
+def populate(store, keys: Sequence[int], value_size: int) -> None:
+    """Pre-load a store with deterministic values for each key."""
+    for key in keys:
+        store.set(key, bytes([key & 0xFF]) * value_size)

@@ -1,0 +1,81 @@
+"""KV wire protocol for the two-sided (RPC) baselines.
+
+A compact binary format carried in SEND payloads. Keys are 48-bit (the
+paper's key size), values are raw bytes. The header is fixed-size so a
+server can parse with one unpack, and responses reuse the same frame.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..datastructs.records import KEY_MASK
+from ..memory.layout import Struct
+
+__all__ = [
+    "OP_GET",
+    "OP_SET",
+    "OP_DELETE",
+    "STATUS_OK",
+    "STATUS_MISS",
+    "STATUS_ERROR",
+    "HEADER",
+    "HEADER_SIZE",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "max_frame_size",
+]
+
+OP_GET = 1
+OP_SET = 2
+OP_DELETE = 3
+
+STATUS_OK = 0
+STATUS_MISS = 1
+STATUS_ERROR = 2
+
+HEADER = Struct("kv_header", 24, [
+    ("op", 0, 1),
+    ("status", 1, 1),
+    ("key", 2, 6),
+    ("value_len", 8, 4),
+    ("request_id", 12, 8),
+    ("reserved", 20, 4),
+])
+HEADER_SIZE = HEADER.size
+
+
+def max_frame_size(max_value: int) -> int:
+    return HEADER_SIZE + max_value
+
+
+def encode_request(op: int, key: int, value: bytes = b"",
+                   request_id: int = 0) -> bytes:
+    if key > KEY_MASK:
+        raise ValueError(f"key {key:#x} exceeds 48 bits")
+    header = HEADER.pack(op=op, status=0, key=key, value_len=len(value),
+                         request_id=request_id)
+    return bytes(header) + value
+
+
+def decode_request(frame: bytes) -> Tuple[int, int, bytes, int]:
+    """(op, key, value, request_id)."""
+    fields = HEADER.unpack(frame[:HEADER_SIZE])
+    value = frame[HEADER_SIZE:HEADER_SIZE + fields["value_len"]]
+    return fields["op"], fields["key"], value, fields["request_id"]
+
+
+def encode_response(status: int, value: bytes = b"",
+                    request_id: int = 0) -> bytes:
+    header = HEADER.pack(op=0, status=status, key=0,
+                         value_len=len(value), request_id=request_id)
+    return bytes(header) + value
+
+
+def decode_response(frame: bytes) -> Tuple[int, bytes, int]:
+    """(status, value, request_id)."""
+    fields = HEADER.unpack(frame[:HEADER_SIZE])
+    value = frame[HEADER_SIZE:HEADER_SIZE + fields["value_len"]]
+    return fields["status"], value, fields["request_id"]

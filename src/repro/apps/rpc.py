@@ -1,0 +1,330 @@
+"""Two-sided RPC-over-RDMA baselines (paper §5.2.2, §5.4, §5.5).
+
+The classical design RedN is compared against: the client SENDs a
+request, the server's **CPU** parses it, walks the hash table, and
+SENDs the value back. Two completion-consumption modes:
+
+* ``polling`` — a worker pins a core and busy-polls the request CQ:
+  competitive latency, one burned core per worker;
+* ``event`` — the worker sleeps on the completion channel and pays
+  scheduler wake-up latency per request (3.8× slower than RedN even on
+  an idle box, Fig 10).
+
+Cost profiles (:class:`RpcCosts`) let one implementation cover both
+"raw verbs RPC" and the **libvma** kernel-bypass sockets baseline of
+Fig 14 — VMA adds TCP/UDP stack processing and, to honour the sockets
+API, send- and receive-side memcpys whose cost grows with value size
+("which is why it performs comparatively worse at higher value
+sizes").
+
+Under writer load (Fig 15) requests queue at the workers and service
+times inherit scheduler jitter, which is where the two-sided tail
+latencies come from; the NIC-served path never touches any of this.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from ..ibv.api import VerbsContext
+from ..ibv.wr import wr_recv, wr_send
+from ..memory.region import ProtectionDomain
+from ..nic.qp import QueuePair
+from ..nic.queue import CompletionQueue
+from ..nic.rnic import RNIC
+from ..sim.core import Simulator
+from .memcached import MemcachedServer
+from .protocol import (
+    HEADER_SIZE,
+    OP_DELETE,
+    OP_GET,
+    OP_SET,
+    STATUS_ERROR,
+    STATUS_MISS,
+    STATUS_OK,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    max_frame_size,
+)
+
+__all__ = ["RpcCosts", "VERBS_RPC_COSTS", "VMA_COSTS", "RpcServer",
+           "RpcClient"]
+
+
+@dataclass(frozen=True)
+class RpcCosts:
+    """CPU-time model of one request on the server (and client copies).
+
+    ``*_per_byte_ns`` terms model sockets-API memcpys; raw verbs RPC
+    reads/writes registered buffers in place and sets them to ~0.
+    """
+
+    parse_ns: int = 600              # header decode + dispatch
+    lookup_ns: int = 1200            # hash walk for a get
+    store_ns: int = 1800             # insert/update for a set
+    respond_ns: int = 600            # building + posting the response
+    stack_rx_ns: int = 0             # network-stack receive processing
+    stack_tx_ns: int = 0             # network-stack transmit processing
+    copy_rx_per_byte_ns: float = 0.0   # recv-buffer -> app memcpy
+    copy_tx_per_byte_ns: float = 0.0   # app -> send-buffer memcpy
+    service_jitter: float = 0.0      # lognormal-ish multiplier spread
+
+    def rx_cost(self, nbytes: int) -> int:
+        return int(self.stack_rx_ns + self.copy_rx_per_byte_ns * nbytes)
+
+    def tx_cost(self, nbytes: int) -> int:
+        return int(self.stack_tx_ns + self.copy_tx_per_byte_ns * nbytes)
+
+
+#: Plain two-sided RPC over verbs: zero-copy buffers.
+VERBS_RPC_COSTS = RpcCosts()
+
+#: libvma kernel-bypass sockets under Memcached (Fig 14): VMA stack
+#: processing (socket-call interception, UDP framing, flow steering)
+#: plus Memcached's own sockets-facing machinery (libevent dispatch,
+#: protocol parsing) and the memcpys the sockets API forces on both
+#: sides (~8 GB/s effective copy bandwidth). "VMA incurs extra overhead
+#: since it relies on a network stack to process packets ... VMA has to
+#: memcpy data from send and receive buffers" (§5.4).
+VMA_COSTS = RpcCosts(
+    parse_ns=1200, lookup_ns=1200, store_ns=1800, respond_ns=1000,
+    stack_rx_ns=4300, stack_tx_ns=3200,
+    copy_rx_per_byte_ns=0.125, copy_tx_per_byte_ns=0.125,
+)
+
+
+class _Connection:
+    """Server-side state for one RPC client."""
+
+    _ids = itertools.count()
+
+    def __init__(self, server_qp: QueuePair, max_value: int):
+        self.conn_id = next(self._ids)
+        self.server_qp = server_qp
+        self.max_value = max_value
+        self.recv_bufs: List[int] = []
+        self.send_buf: Optional[int] = None
+
+
+class RpcServer:
+    """CPU-served KV RPC endpoint in front of a MemcachedServer."""
+
+    def __init__(self, store: MemcachedServer, mode: str = "polling",
+                 workers: int = 2, costs: RpcCosts = VERBS_RPC_COSTS,
+                 max_value: int = 256 * 1024, recv_pool: int = 16,
+                 name: str = "rpc"):
+        if mode not in ("polling", "event"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.store = store
+        self.host = store.host
+        self.mode = mode
+        self.costs = costs
+        self.max_value = max_value
+        self.recv_pool = recv_pool
+        self.name = name
+        self.num_workers = workers
+        process = store.process
+        self.process = process
+        # All client QPs share one request CQ; workers drain it.
+        self.request_cq: CompletionQueue = self.host.nic.create_cq(
+            name=f"{name}-reqcq")
+        self.connections: Dict[int, _Connection] = {}
+        self.verbs = VerbsContext(self.host.sim, cpu=self.host.cpu,
+                                  name=f"{name}-verbs")
+        self.requests_served = 0
+        self._jitter = self.host.streams.stream(f"{name}-jitter")
+        self._workers_started = False
+
+    # -- connection management ----------------------------------------------
+
+    def connect(self, client_nic: RNIC,
+                client_pd: ProtectionDomain) -> "RpcClient":
+        frame = max_frame_size(self.max_value)
+        server_qp = self.process.create_qp(
+            self.store.pd, recv_cq=self.request_cq,
+            recv_slots=4 * self.recv_pool,
+            name=f"{self.name}-s{len(self.connections)}")
+        client_qp = client_nic.create_qp(
+            client_pd, name=f"{self.name}-c{len(self.connections)}")
+        server_qp.connect(client_qp)
+
+        conn = _Connection(server_qp, self.max_value)
+        for _ in range(self.recv_pool):
+            buf = self.process.alloc(frame, label=f"{self.name}-rxbuf")
+            conn.recv_bufs.append(buf.addr)
+            # wr_id carries the buffer address so the CQE identifies
+            # which ring buffer holds this request.
+            server_qp.post_recv(wr_recv(buf.addr, frame,
+                                        wr_id=buf.addr))
+        conn.send_buf = self.process.alloc(
+            frame, label=f"{self.name}-txbuf").addr
+        self.connections[server_qp.recv_wq.wq_num] = conn
+        return RpcClient(self, client_nic, client_qp)
+
+    # -- worker threads -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._workers_started:
+            return
+        self._workers_started = True
+        for index in range(self.num_workers):
+            self.process.start_thread(
+                self._worker(index), name=f"{self.name}-w{index}")
+
+    def _worker(self, index: int) -> Generator:
+        sim = self.host.sim
+        cpu = self.host.cpu
+        core_grant = None
+        if self.mode == "polling":
+            # Dedicate a core to busy-polling (§5.2.2).
+            core_grant = yield cpu.acquire_core()
+        try:
+            while self.process.alive and self.host.os_alive:
+                if self.mode == "polling":
+                    cqe = yield from self.verbs.poll(self.request_cq)
+                else:
+                    cqe = yield from self.verbs.poll_blocking(
+                        self.request_cq)
+                if cqe is None:
+                    continue
+                yield from self._serve(cqe, pinned=core_grant is not None)
+        finally:
+            if core_grant is not None:
+                cpu.release_core(core_grant)
+
+    def _charge(self, duration: int, pinned: bool) -> Generator:
+        """CPU time: on the pinned core, or through the scheduler."""
+        if duration <= 0:
+            return
+        if self.costs.service_jitter:
+            factor = 1.0 + self._jitter.expovariate(
+                1.0 / self.costs.service_jitter)
+            duration = int(duration * factor)
+        if pinned:
+            yield self.host.sim.timeout(duration)
+        else:
+            yield from self.host.cpu.run(duration)
+
+    def _serve(self, cqe, pinned: bool) -> Generator:
+        conn = self.connections.get(cqe.wq_num)
+        if conn is None:
+            return
+        costs = self.costs
+        memory = self.host.memory
+        buf_addr = cqe.wr_id   # posted as the ring buffer's address
+        yield from self._charge(costs.parse_ns, pinned)
+        op, key, _value_head, request_id = decode_request(
+            memory.read(buf_addr, HEADER_SIZE))
+        payload_len = cqe.byte_len
+        yield from self._charge(costs.rx_cost(payload_len), pinned)
+
+        if op == OP_GET:
+            yield from self._charge(costs.lookup_ns, pinned)
+            value = self.store.get(key)
+            if value is None:
+                response = encode_response(STATUS_MISS,
+                                           request_id=request_id)
+            else:
+                response = encode_response(STATUS_OK, value,
+                                           request_id=request_id)
+        elif op == OP_SET:
+            full = memory.read(buf_addr, payload_len)
+            _op, key, value, request_id = decode_request(full)
+            yield from self._charge(costs.store_ns, pinned)
+            self.store.set(key, value)
+            response = encode_response(STATUS_OK, request_id=request_id)
+        elif op == OP_DELETE:
+            yield from self._charge(costs.lookup_ns, pinned)
+            found = self.store.delete(key)
+            response = encode_response(
+                STATUS_OK if found else STATUS_MISS,
+                request_id=request_id)
+        else:
+            response = encode_response(STATUS_ERROR,
+                                       request_id=request_id)
+
+        yield from self._charge(costs.tx_cost(len(response)), pinned)
+        yield from self._charge(costs.respond_ns, pinned)
+        memory.write(conn.send_buf, response)
+        conn.server_qp.post_send(
+            wr_send(conn.send_buf, len(response), signaled=False))
+        # Re-arm the consumed RECV with the same ring buffer.
+        conn.server_qp.post_recv(
+            wr_recv(buf_addr, max_frame_size(self.max_value),
+                    wr_id=buf_addr))
+        self.requests_served += 1
+
+
+class RpcClient:
+    """Client endpoint: request buffer + synchronous call helper."""
+
+    def __init__(self, server: RpcServer, client_nic: RNIC,
+                 client_qp: QueuePair):
+        self.server = server
+        self.nic = client_nic
+        self.qp = client_qp
+        self.sim: Simulator = client_nic.sim
+        frame = max_frame_size(server.max_value)
+        self.request_buf = client_nic.memory.alloc(
+            frame, owner="client", label="rpc-req").addr
+        self.response_buf = client_nic.memory.alloc(
+            frame, owner="client", label="rpc-resp").addr
+        self.verbs = VerbsContext(self.sim, name="rpc-client")
+        self._recvs = 0
+        self._request_ids = itertools.count(1)
+
+    def _ensure_recvs(self, target: int = 8) -> None:
+        recv_wq = self.qp.recv_wq
+        frame = max_frame_size(self.server.max_value)
+        while recv_wq.posted_count - recv_wq.fetched_count < target:
+            self.qp.post_recv(wr_recv(self.response_buf, frame))
+
+    def call(self, op: int, key: int, value: bytes = b"",
+             timeout_ns: Optional[int] = None) -> Generator:
+        """Issue one RPC; returns (status, value, latency_ns).
+
+        With ``timeout_ns`` set, a dead server (crashed process, no
+        response) yields (None, b"", elapsed) instead of hanging —
+        what a real client's request timer does.
+        """
+        self._ensure_recvs()
+        sim = self.sim
+        start = sim.now
+        request_id = next(self._request_ids)
+        frame = encode_request(op, key, value, request_id=request_id)
+        self.nic.memory.write(self.request_buf, frame)
+        yield from self.verbs.post_send(
+            self.qp, wr_send(self.request_buf, len(frame),
+                             signaled=False))
+        cq = self.qp.recv_wq.cq
+        deadline = sim.timeout(timeout_ns) if timeout_ns else None
+        while True:
+            cqe = cq.poll()
+            if cqe is not None:
+                status, data, rid = decode_response(
+                    self.nic.memory.read(self.response_buf,
+                                         cqe.byte_len))
+                if rid == request_id:
+                    if self.verbs.poll_detect_ns:
+                        yield sim.timeout(self.verbs.poll_detect_ns)
+                    return status, data, sim.now - start
+                continue
+            if deadline is not None and deadline.triggered:
+                return None, b"", sim.now - start
+            waitables = [cq.wait_for_event()]
+            if deadline is not None:
+                waitables.append(deadline)
+            yield sim.any_of(waitables)
+
+    def get(self, key: int,
+            timeout_ns: Optional[int] = None) -> Generator:
+        return (yield from self.call(OP_GET, key, timeout_ns=timeout_ns))
+
+    def set(self, key: int, value: bytes,
+            timeout_ns: Optional[int] = None) -> Generator:
+        return (yield from self.call(OP_SET, key, value,
+                                     timeout_ns=timeout_ns))

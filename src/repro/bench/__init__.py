@@ -1,0 +1,15 @@
+"""Benchmark harness: testbed assembly, statistics, table rendering."""
+
+from .stats import LatencyRecorder, percentile, summarize
+from .tables import banner, render_series, render_table
+from .testbed import Testbed
+
+__all__ = [
+    "LatencyRecorder",
+    "Testbed",
+    "banner",
+    "percentile",
+    "render_series",
+    "render_table",
+    "summarize",
+]

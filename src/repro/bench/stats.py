@@ -1,0 +1,63 @@
+"""Latency statistics shared by the workload generator and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+__all__ = ["LatencyRecorder", "percentile", "summarize"]
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (0 < fraction <= 1)."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """avg / p50 / p99 / min / max / count, in the samples' unit."""
+    if not samples:
+        return {"count": 0}
+    return {
+        "count": len(samples),
+        "avg": sum(samples) / len(samples),
+        "p50": percentile(samples, 0.50),
+        "p99": percentile(samples, 0.99),
+        "min": min(samples),
+        "max": max(samples),
+    }
+
+
+class LatencyRecorder:
+    """Accumulates per-operation latencies (nanoseconds)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[int] = []
+
+    def record(self, latency_ns: int) -> None:
+        self.samples.append(latency_ns)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def avg_us(self) -> float:
+        return sum(self.samples) / len(self.samples) / 1000.0
+
+    @property
+    def p50_us(self) -> float:
+        return percentile(self.samples, 0.50) / 1000.0
+
+    @property
+    def p99_us(self) -> float:
+        return percentile(self.samples, 0.99) / 1000.0
+
+    def summary_us(self) -> Dict[str, float]:
+        stats = summarize(self.samples)
+        return {key: (value / 1000.0 if key != "count" else value)
+                for key, value in stats.items()}

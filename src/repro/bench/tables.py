@@ -1,0 +1,48 @@
+"""Plain-text table/figure rendering for benchmark output.
+
+Benchmarks print their reproduced rows next to the paper's reported
+numbers so a reader can eyeball the shape match without opening
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "banner"]
+
+
+def banner(title: str) -> str:
+    line = "=" * max(60, len(title) + 4)
+    return f"\n{line}\n  {title}\n{line}"
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width table with auto-sized columns."""
+    materialized: List[List[str]] = [[str(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[index])
+                         for index, cell in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(banner(title))
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[object],
+                  ys: Sequence[float], unit: str = "us") -> str:
+    """One figure series as 'x -> y unit' lines."""
+    pairs = ", ".join(f"{x}:{y:.2f}" for x, y in zip(xs, ys))
+    return f"{name} [{unit}]: {pairs}"

@@ -1,0 +1,38 @@
+"""RDMA-visible data structures with WQE-compatible byte layouts."""
+
+from .cuckoo import CuckooTable, HashTableError
+from .hashing import hash_key, splitmix64
+from .hopscotch import DEFAULT_NEIGHBORHOOD, HopscotchTable
+from .linkedlist import LinkedList, ListError
+from .records import (
+    BUCKET_RECORD,
+    BUCKET_SIZE,
+    KEY_BITS,
+    KEY_MASK,
+    LIST_NODE,
+    LIST_NODE_SIZE,
+    WQE_PATCH_LEN,
+    check_key,
+)
+from .slab import SlabError, SlabStore
+
+__all__ = [
+    "BUCKET_RECORD",
+    "BUCKET_SIZE",
+    "CuckooTable",
+    "DEFAULT_NEIGHBORHOOD",
+    "HashTableError",
+    "HopscotchTable",
+    "KEY_BITS",
+    "KEY_MASK",
+    "LIST_NODE",
+    "LIST_NODE_SIZE",
+    "LinkedList",
+    "ListError",
+    "SlabError",
+    "SlabStore",
+    "WQE_PATCH_LEN",
+    "check_key",
+    "hash_key",
+    "splitmix64",
+]

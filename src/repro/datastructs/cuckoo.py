@@ -1,0 +1,183 @@
+"""Cuckoo hash table over registered memory.
+
+The shape RedN's hash-lookup offload targets (§5.2.1): every key lives
+in exactly one of **two** candidate buckets ("we set the number of
+hashes to two, which is common in practice [MemC3]"), values hang off
+the bucket by pointer. This is also the table the paper's Memcached
+integration uses ("a version of Memcached that employs cuckoo hashing",
+§5.4).
+
+The table is byte-resident: buckets are :data:`BUCKET_RECORD` structs
+in a registered region, so RDMA READs see exactly what host code sees.
+Insertion uses BFS-free random-walk cuckoo kicks with a bounded path.
+Benchmarks can pin a key to its first or second candidate
+(``force_bucket``) to reproduce the collision scenarios of Fig 10/11.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..memory.dram import Allocation, HostMemory
+from .hashing import hash_key
+from .records import BUCKET_RECORD, BUCKET_SIZE, check_key
+from .slab import SlabStore
+
+__all__ = ["CuckooTable", "HashTableError"]
+
+_MAX_KICKS = 64
+
+
+class HashTableError(Exception):
+    """Insert failure (table too full) or lookup misuse."""
+
+
+class CuckooTable:
+    """Two-choice cuckoo table with by-pointer values."""
+
+    NUM_HASHES = 2
+
+    def __init__(self, memory: HostMemory, region: Allocation,
+                 num_buckets: int, slab: SlabStore):
+        if num_buckets < 2:
+            raise HashTableError("need at least two buckets")
+        needed = num_buckets * BUCKET_SIZE
+        if region.size < needed:
+            raise HashTableError(
+                f"region {region.size}B too small for {num_buckets} "
+                f"buckets ({needed}B)")
+        self.memory = memory
+        self.region = region
+        self.num_buckets = num_buckets
+        self.slab = slab
+        self.count = 0
+        memory.fill(region.addr, needed, 0)
+
+    def __repr__(self) -> str:
+        return (f"<CuckooTable {self.count}/{self.num_buckets} "
+                f"lf={self.load_factor:.2f}>")
+
+    @property
+    def load_factor(self) -> float:
+        return self.count / self.num_buckets
+
+    # -- geometry (shared with clients) -----------------------------------
+
+    def bucket_index(self, key: int, which: int) -> int:
+        return hash_key(check_key(key), which) % self.num_buckets
+
+    def bucket_addr(self, index: int) -> int:
+        return self.region.addr + index * BUCKET_SIZE
+
+    def candidate_addrs(self, key: int) -> List[int]:
+        """The two bucket addresses a key may live at — what a client
+        ships in the trigger message (Fig 9's H1(x))."""
+        return [self.bucket_addr(self.bucket_index(key, which))
+                for which in range(self.NUM_HASHES)]
+
+    # -- raw bucket IO -------------------------------------------------------
+
+    def _read_bucket(self, index: int) -> dict:
+        return BUCKET_RECORD.unpack(
+            self.memory.read(self.bucket_addr(index), BUCKET_SIZE))
+
+    def _write_bucket(self, index: int, key: int, valptr: int,
+                      vlen: int) -> None:
+        self.memory.write(self.bucket_addr(index), bytes(
+            BUCKET_RECORD.pack(key=key, valptr=valptr, vlen=vlen)))
+
+    def _clear_bucket(self, index: int) -> None:
+        self.memory.fill(self.bucket_addr(index), BUCKET_SIZE, 0)
+
+    # -- operations ----------------------------------------------------------------
+
+    def insert(self, key: int, value: bytes,
+               force_bucket: Optional[int] = None) -> int:
+        """Insert (or update) a key; returns the bucket index used.
+
+        ``force_bucket`` (0 or 1) pins the key to its first or second
+        candidate, evicting any occupant — how the benchmarks construct
+        the no-collision / always-second-bucket scenarios of Fig 10/11.
+        """
+        check_key(key)
+        existing = self._locate(key)
+        if existing is not None:
+            index, record = existing
+            self.slab.free(record["valptr"], record["vlen"])
+            valptr, vlen = self.slab.store(value)
+            self._write_bucket(index, key, valptr, vlen)
+            return index
+
+        valptr, vlen = self.slab.store(value)
+        if force_bucket is not None:
+            index = self.bucket_index(key, force_bucket)
+            occupant = self._read_bucket(index)
+            if occupant["key"]:
+                self.slab.free(occupant["valptr"], occupant["vlen"])
+                self.count -= 1
+            self._write_bucket(index, key, valptr, vlen)
+            self.count += 1
+            return index
+
+        placed = self._place(key, valptr, vlen)
+        if placed is None:
+            self.slab.free(valptr, vlen)
+            raise HashTableError(
+                f"cuckoo path exhausted at load {self.load_factor:.2f}")
+        self.count += 1
+        return placed
+
+    def _place(self, key: int, valptr: int, vlen: int) -> Optional[int]:
+        carry = (key, valptr, vlen)
+        index = self.bucket_index(key, 0)
+        for _kick in range(_MAX_KICKS):
+            record = self._read_bucket(index)
+            if record["key"] == 0:
+                self._write_bucket(index, *carry)
+                return index
+            alt = self.bucket_index(carry[0], 1)
+            if self._read_bucket(alt)["key"] == 0:
+                self._write_bucket(alt, *carry)
+                return alt
+            # Evict the occupant of `index`, move carry in, continue
+            # with the evictee at its alternate location.
+            evictee = (record["key"], record["valptr"], record["vlen"])
+            self._write_bucket(index, *carry)
+            carry = evictee
+            first, second = (self.bucket_index(carry[0], 0),
+                             self.bucket_index(carry[0], 1))
+            index = second if index == first else first
+        return None
+
+    def _locate(self, key: int) -> Optional[Tuple[int, dict]]:
+        for which in range(self.NUM_HASHES):
+            index = self.bucket_index(key, which)
+            record = self._read_bucket(index)
+            if record["key"] == key:
+                return index, record
+        return None
+
+    def lookup(self, key: int) -> Optional[bytes]:
+        """Host-side get (what the two-sided RPC handler runs)."""
+        found = self._locate(key)
+        if found is None:
+            return None
+        _index, record = found
+        return self.slab.fetch(record["valptr"], record["vlen"])
+
+    def lookup_ptr(self, key: int) -> Optional[Tuple[int, int]]:
+        """(valptr, vlen) without copying the value."""
+        found = self._locate(key)
+        if found is None:
+            return None
+        return found[1]["valptr"], found[1]["vlen"]
+
+    def delete(self, key: int) -> bool:
+        found = self._locate(key)
+        if found is None:
+            return False
+        index, record = found
+        self.slab.free(record["valptr"], record["vlen"])
+        self._clear_bucket(index)
+        self.count -= 1
+        return True

@@ -1,0 +1,27 @@
+"""Deterministic hash functions shared by client and server.
+
+Clients compute bucket addresses themselves and ship them in the
+trigger message (Fig 9: the client sends x and H1(x)), so both sides
+must agree on the hash. We use splitmix64 finalizers with two fixed
+stream constants — fast, well-distributed, and stable across runs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["splitmix64", "hash_key"]
+
+_MASK64 = (1 << 64) - 1
+_STREAMS = (0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9)
+
+
+def splitmix64(value: int) -> int:
+    """The splitmix64 finalizer: a high-quality 64-bit mixer."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def hash_key(key: int, which: int) -> int:
+    """Hash ``key`` with hash function ``which`` (0 or 1)."""
+    return splitmix64(key ^ _STREAMS[which % len(_STREAMS)])

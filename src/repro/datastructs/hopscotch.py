@@ -1,0 +1,170 @@
+"""Hopscotch hash table — the FaRM-KV baseline's layout (§5.2).
+
+FaRM's one-sided *get* works because hopscotch hashing guarantees a key
+lives within a small **neighborhood** of its home bucket: the client
+READs the whole neighborhood (default H=6, "implying a 6× overhead for
+RDMA metadata operations"), scans it locally, then READs the value by
+pointer — two round trips total.
+
+Insertion follows classic hopscotch displacement: if the home
+neighborhood is full, a free slot is bubbled backwards by hopping
+entries that remain within their own neighborhoods.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..memory.dram import Allocation, HostMemory
+from .cuckoo import HashTableError
+from .hashing import hash_key
+from .records import BUCKET_RECORD, BUCKET_SIZE, check_key
+from .slab import SlabStore
+
+__all__ = ["HopscotchTable", "DEFAULT_NEIGHBORHOOD"]
+
+DEFAULT_NEIGHBORHOOD = 6   # FaRM's default (§5.2.2)
+_MAX_PROBE = 512
+
+
+class HopscotchTable:
+    """Neighborhood-constrained open addressing over registered memory."""
+
+    def __init__(self, memory: HostMemory, region: Allocation,
+                 num_buckets: int, slab: SlabStore,
+                 neighborhood: int = DEFAULT_NEIGHBORHOOD):
+        if neighborhood < 1:
+            raise HashTableError("neighborhood must be >= 1")
+        needed = num_buckets * BUCKET_SIZE
+        if region.size < needed:
+            raise HashTableError("region too small")
+        self.memory = memory
+        self.region = region
+        self.num_buckets = num_buckets
+        self.neighborhood = neighborhood
+        self.slab = slab
+        self.count = 0
+        memory.fill(region.addr, needed, 0)
+
+    def __repr__(self) -> str:
+        return (f"<HopscotchTable {self.count}/{self.num_buckets} "
+                f"H={self.neighborhood}>")
+
+    @property
+    def load_factor(self) -> float:
+        return self.count / self.num_buckets
+
+    # -- geometry (shared with FaRM-style clients) --------------------------
+
+    def home_index(self, key: int) -> int:
+        return hash_key(check_key(key), 0) % self.num_buckets
+
+    def bucket_addr(self, index: int) -> int:
+        return self.region.addr + (index % self.num_buckets) * BUCKET_SIZE
+
+    def neighborhood_read_args(self, key: int) -> Tuple[int, int]:
+        """(addr, length) of the one-sided neighborhood READ.
+
+        The neighborhood may wrap the table; FaRM sizes tables to make
+        that rare — we simply clamp the READ at the region end and let
+        the client issue it as a single contiguous fetch, which is the
+        common case the paper measures.
+        """
+        home = self.home_index(key)
+        span = min(self.neighborhood, self.num_buckets - home)
+        return self.bucket_addr(home), span * BUCKET_SIZE
+
+    @staticmethod
+    def scan_neighborhood(blob: bytes, key: int) -> Optional[Tuple[int, int]]:
+        """Client-side scan of READ #1's bytes; (valptr, vlen) or None."""
+        for offset in range(0, len(blob) - BUCKET_SIZE + 1, BUCKET_SIZE):
+            record = BUCKET_RECORD.unpack(blob, offset)
+            if record["key"] == key:
+                return record["valptr"], record["vlen"]
+        return None
+
+    # -- host-side operations ---------------------------------------------------
+
+    def _record(self, index: int) -> dict:
+        return BUCKET_RECORD.unpack(
+            self.memory.read(self.bucket_addr(index), BUCKET_SIZE))
+
+    def _write(self, index: int, key: int, valptr: int, vlen: int) -> None:
+        self.memory.write(self.bucket_addr(index), bytes(
+            BUCKET_RECORD.pack(key=key, valptr=valptr, vlen=vlen)))
+
+    def _clear(self, index: int) -> None:
+        self.memory.fill(self.bucket_addr(index), BUCKET_SIZE, 0)
+
+    def insert(self, key: int, value: bytes) -> int:
+        """Insert/update; returns the bucket index used."""
+        home = self.home_index(key)
+        # Update in place if present.
+        for offset in range(self.neighborhood):
+            index = (home + offset) % self.num_buckets
+            record = self._record(index)
+            if record["key"] == key:
+                self.slab.free(record["valptr"], record["vlen"])
+                valptr, vlen = self.slab.store(value)
+                self._write(index, key, valptr, vlen)
+                return index
+
+        # Linear-probe for a free slot, then hop it into range.
+        free = None
+        for offset in range(_MAX_PROBE):
+            index = (home + offset) % self.num_buckets
+            if self._record(index)["key"] == 0:
+                free = offset
+                break
+        if free is None:
+            raise HashTableError("no free slot within probe range")
+
+        while free >= self.neighborhood:
+            free = self._hop_closer(home, free)
+
+        valptr, vlen = self.slab.store(value)
+        self._write((home + free) % self.num_buckets, key, valptr, vlen)
+        self.count += 1
+        return (home + free) % self.num_buckets
+
+    def _hop_closer(self, home: int, free_offset: int) -> int:
+        """Move the free slot at ``home+free_offset`` toward home by
+        relocating an earlier entry that tolerates the move."""
+        free_index = (home + free_offset) % self.num_buckets
+        for back in range(self.neighborhood - 1, 0, -1):
+            cand_offset = free_offset - back
+            if cand_offset < 0:
+                continue
+            cand_index = (home + cand_offset) % self.num_buckets
+            record = self._record(cand_index)
+            if record["key"] == 0:
+                continue
+            cand_home = self.home_index(record["key"])
+            distance = (free_index - cand_home) % self.num_buckets
+            if distance < self.neighborhood:
+                self._write(free_index, record["key"], record["valptr"],
+                            record["vlen"])
+                self._clear(cand_index)
+                return cand_offset
+        raise HashTableError("hopscotch displacement failed (table too "
+                             "dense for this neighborhood)")
+
+    def lookup(self, key: int) -> Optional[bytes]:
+        home = self.home_index(key)
+        for offset in range(self.neighborhood):
+            record = self._record((home + offset) % self.num_buckets)
+            if record["key"] == key:
+                return self.slab.fetch(record["valptr"], record["vlen"])
+        return None
+
+    def delete(self, key: int) -> bool:
+        home = self.home_index(key)
+        for offset in range(self.neighborhood):
+            index = (home + offset) % self.num_buckets
+            record = self._record(index)
+            if record["key"] == key:
+                self.slab.free(record["valptr"], record["vlen"])
+                self._clear(index)
+                self.count -= 1
+                return True
+        return False

@@ -1,0 +1,62 @@
+"""On-memory record formats shared by RDMA-visible data structures.
+
+The whole point of these layouts is WQE compatibility (paper §5.2/§5.4):
+a *single contiguous RDMA READ* of a record, aimed at ``wqe_base + 2``,
+must land
+
+    key    (6 bytes)  -> the WQE's 48-bit id field,
+    valptr (8 bytes)  -> the WQE's laddr field,
+    vlen   (4 bytes)  -> the WQE's length field,
+
+so the record's first 18 bytes fully prepare a response WRITE and set up
+the conditional CAS in one verb. All fields are big-endian — the reason
+the paper had to patch Memcached to store bucket pointers in big endian.
+
+Linked-list nodes extend the record with a big-endian ``next`` pointer
+(READ scatter steers it into the following iteration's READ).
+"""
+
+from __future__ import annotations
+
+from ..memory.layout import Struct, mask
+
+__all__ = [
+    "KEY_BITS",
+    "KEY_MASK",
+    "BUCKET_RECORD",
+    "BUCKET_SIZE",
+    "LIST_NODE",
+    "LIST_NODE_SIZE",
+    "WQE_PATCH_LEN",
+    "check_key",
+]
+
+KEY_BITS = 48            # the paper's 48-bit keys (§5.2.2)
+KEY_MASK = mask(KEY_BITS)
+
+#: Bytes a record READ transfers into a WQE: key + valptr + vlen.
+WQE_PATCH_LEN = 18
+
+BUCKET_SIZE = 24
+BUCKET_RECORD = Struct("bucket", BUCKET_SIZE, [
+    ("key", 0, 6),        # 48-bit key (0 = empty slot)
+    ("valptr", 6, 8),     # address of the value in the slab
+    ("vlen", 14, 4),      # value length
+    ("meta", 18, 6),      # version/occupancy metadata (host-side use)
+])
+
+LIST_NODE_SIZE = 32
+LIST_NODE = Struct("list_node", LIST_NODE_SIZE, [
+    ("key", 0, 6),
+    ("valptr", 6, 8),
+    ("vlen", 14, 4),
+    ("next", 18, 8),      # address of the next node (0 = end of list)
+    ("meta", 26, 6),
+])
+
+
+def check_key(key: int) -> int:
+    """Validate a 48-bit, non-zero key (zero marks empty slots)."""
+    if not 0 < key <= KEY_MASK:
+        raise ValueError(f"key {key:#x} not a non-zero 48-bit value")
+    return key

@@ -1,0 +1,71 @@
+"""Slab store: where key-value *values* live in registered memory.
+
+Buckets and list nodes only carry (pointer, length) pairs — the paper's
+configuration for dynamic value sizes ("we assume the value is not
+inlined in the bucket and is instead referenced via a pointer", §5.2).
+The slab is a size-classed allocator over one registered region, close
+in spirit to Memcached's slab classes: predictable addresses, no
+compaction, O(1) alloc/free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..memory.dram import Allocation, HostMemory
+
+__all__ = ["SlabStore", "SlabError"]
+
+_DEFAULT_CLASSES = (64, 256, 1024, 4096, 16384, 65536, 262144)
+
+
+class SlabError(Exception):
+    """Slab exhaustion or misuse."""
+
+
+class SlabStore:
+    """Size-classed value storage inside one contiguous allocation."""
+
+    def __init__(self, memory: HostMemory, region: Allocation,
+                 size_classes: Tuple[int, ...] = _DEFAULT_CLASSES):
+        self.memory = memory
+        self.region = region
+        self.size_classes = tuple(sorted(size_classes))
+        self._cursor = region.addr
+        self._free: Dict[int, List[int]] = {c: [] for c in
+                                            self.size_classes}
+        self.stored_values = 0
+
+    def __repr__(self) -> str:
+        used = self._cursor - self.region.addr
+        return f"<SlabStore {used}/{self.region.size}B values={self.stored_values}>"
+
+    def _class_for(self, length: int) -> int:
+        for cls in self.size_classes:
+            if length <= cls:
+                return cls
+        raise SlabError(f"value of {length}B exceeds largest slab class "
+                        f"{self.size_classes[-1]}")
+
+    def store(self, value: bytes) -> Tuple[int, int]:
+        """Place a value; returns (addr, length)."""
+        cls = self._class_for(len(value))
+        if self._free[cls]:
+            addr = self._free[cls].pop()
+        else:
+            addr = self._cursor
+            if addr + cls > self.region.end:
+                raise SlabError("slab region exhausted")
+            self._cursor += cls
+        self.memory.write(addr, value)
+        self.stored_values += 1
+        return addr, len(value)
+
+    def free(self, addr: int, length: int) -> None:
+        """Return a chunk to its size class."""
+        cls = self._class_for(length)
+        self._free[cls].append(addr)
+        self.stored_values -= 1
+
+    def fetch(self, addr: int, length: int) -> bytes:
+        return self.memory.read(addr, length)

@@ -1,0 +1,32 @@
+"""libibverbs-flavoured host API: WR builders + a verbs context."""
+
+from .api import VerbsContext, VerbsError
+from .wr import (
+    wr_calc,
+    wr_cas,
+    wr_enable,
+    wr_fetch_add,
+    wr_noop,
+    wr_read,
+    wr_recv,
+    wr_send,
+    wr_wait,
+    wr_write,
+    wr_write_imm,
+)
+
+__all__ = [
+    "VerbsContext",
+    "VerbsError",
+    "wr_calc",
+    "wr_cas",
+    "wr_enable",
+    "wr_fetch_add",
+    "wr_noop",
+    "wr_read",
+    "wr_recv",
+    "wr_send",
+    "wr_wait",
+    "wr_write",
+    "wr_write_imm",
+]

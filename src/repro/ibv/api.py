@@ -1,0 +1,103 @@
+"""Host-software verbs interface.
+
+:class:`VerbsContext` is what host code (clients, RPC servers, the
+benchmark harness) uses to talk to the NIC. Besides forwarding posts to
+the queues, it charges the *software* costs that separate the baselines
+in the paper's figures:
+
+* ``post_overhead_ns`` — building a WQE, writing it to the ring and
+  ringing the doorbell costs CPU time on every verb issued by software.
+  RedN pays it once at setup; one-sided clients pay it per READ — part
+  of why a 2-RTT one-sided *get* is ~2× a 1-RTT offloaded one (§5.2).
+* ``poll_detect_ns`` — a busy-polling consumer sees a CQE shortly after
+  its DMA lands (cheap, but burns a core).
+* event-mode completions go through the CPU scheduler's blocking
+  wake-up path, whose cost makes event-based RPC the slowest baseline
+  in Fig 10.
+
+All methods that consume simulated time are generators to be driven
+inside simulation processes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..nic.qp import QueuePair
+from ..nic.queue import CompletionQueue, Cqe
+from ..nic.wqe import Wqe
+from ..sim.core import Simulator
+from ..net.cpu import CpuScheduler
+
+__all__ = ["VerbsContext", "VerbsError"]
+
+
+class VerbsError(Exception):
+    """Host-level verbs failure (error CQE on a synchronous op)."""
+
+
+class VerbsContext:
+    """Per-consumer verbs handle with calibrated software costs."""
+
+    def __init__(self, sim: Simulator, cpu: Optional[CpuScheduler] = None,
+                 post_overhead_ns: int = 300, poll_detect_ns: int = 100,
+                 name: str = "verbs"):
+        self.sim = sim
+        self.cpu = cpu
+        self.post_overhead_ns = post_overhead_ns
+        self.poll_detect_ns = poll_detect_ns
+        self.name = name
+
+    # -- posting ------------------------------------------------------------
+
+    def post_send(self, qp: QueuePair, wqe: Wqe,
+                  ring_doorbell: Optional[bool] = None) -> Generator:
+        """Post a send WR, paying the software posting cost."""
+        if self.post_overhead_ns:
+            yield self.sim.timeout(self.post_overhead_ns)
+        qp.post_send(wqe, ring_doorbell=ring_doorbell)
+
+    def post_recv(self, qp: QueuePair, wqe: Wqe) -> Generator:
+        if self.post_overhead_ns:
+            yield self.sim.timeout(self.post_overhead_ns)
+        qp.post_recv(wqe)
+
+    # -- completion consumption ------------------------------------------------
+
+    def poll(self, cq: CompletionQueue) -> Generator:
+        """Busy-poll until a CQE is available; returns it.
+
+        Models a dedicated polling loop: the CQE is noticed
+        ``poll_detect_ns`` after its DMA reaches host memory.
+        """
+        while True:
+            cqe = cq.poll()
+            if cqe is not None:
+                if self.poll_detect_ns:
+                    yield self.sim.timeout(self.poll_detect_ns)
+                return cqe
+            yield cq.wait_for_event()
+
+    def poll_blocking(self, cq: CompletionQueue) -> Generator:
+        """Event-channel completion: sleep, pay wake-up, then reap."""
+        if self.cpu is None:
+            raise VerbsError("blocking poll needs a CPU scheduler")
+        while True:
+            cqe = cq.poll()
+            if cqe is not None:
+                return cqe
+            yield from self.cpu.block_on(cq.wait_for_event())
+
+    # -- synchronous convenience ---------------------------------------------
+
+    def execute_sync(self, qp: QueuePair, wqe: Wqe) -> Generator:
+        """Post one signaled WR and busy-poll its completion."""
+        yield from self.post_send(qp, wqe)
+        cqe = yield from self.poll(qp.send_wq.cq)
+        return cqe
+
+    def execute_sync_checked(self, qp: QueuePair, wqe: Wqe) -> Generator:
+        cqe = yield from self.execute_sync(qp, wqe)
+        if not cqe.ok:
+            raise VerbsError(f"verb failed: {cqe!r}")
+        return cqe

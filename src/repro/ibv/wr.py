@@ -1,0 +1,123 @@
+"""Work-request builder helpers.
+
+Thin constructors that turn "I want an RDMA WRITE of these bytes" into
+a correctly-populated :class:`~repro.nic.wqe.Wqe`. They keep benchmark
+and application code close to how libibverbs consumers read, and they
+are the only place where default flags (SIGNALED on host-issued verbs)
+are decided.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..memory.region import MemoryRegion
+from ..nic.opcodes import Opcode, WrFlags
+from ..nic.wqe import Sge, Wqe
+
+__all__ = [
+    "wr_write",
+    "wr_write_imm",
+    "wr_read",
+    "wr_send",
+    "wr_recv",
+    "wr_cas",
+    "wr_fetch_add",
+    "wr_calc",
+    "wr_noop",
+    "wr_wait",
+    "wr_enable",
+]
+
+
+def _flags(signaled: bool, extra: int = 0) -> int:
+    return (WrFlags.SIGNALED if signaled else 0) | extra
+
+
+def wr_write(laddr: int, length: int, raddr: int, rkey: int,
+             wr_id: int = 0, signaled: bool = True) -> Wqe:
+    """One-sided RDMA WRITE: local [laddr, laddr+length) -> remote raddr."""
+    return Wqe(opcode=Opcode.WRITE, wr_id=wr_id, laddr=laddr,
+               length=length, raddr=raddr, rkey=rkey,
+               flags=_flags(signaled))
+
+
+def wr_write_imm(laddr: int, length: int, raddr: int, rkey: int,
+                 immediate: int, wr_id: int = 0,
+                 signaled: bool = True) -> Wqe:
+    """WRITE_IMM: like WRITE but consumes a remote RECV to deliver imm."""
+    return Wqe(opcode=Opcode.WRITE_IMM, wr_id=wr_id, laddr=laddr,
+               length=length, raddr=raddr, rkey=rkey,
+               operand0=immediate, flags=_flags(signaled))
+
+
+def wr_read(laddr: int, length: int, raddr: int, rkey: int,
+            wr_id: int = 0, signaled: bool = True,
+            sges: Optional[List[Sge]] = None) -> Wqe:
+    """One-sided RDMA READ; response scatters to ``sges`` if given."""
+    return Wqe(opcode=Opcode.READ, wr_id=wr_id, laddr=laddr,
+               length=length, raddr=raddr, rkey=rkey,
+               flags=_flags(signaled), sges=sges)
+
+
+def wr_send(laddr: int, length: int, wr_id: int = 0,
+            signaled: bool = True) -> Wqe:
+    """Two-sided SEND of local bytes; lands in the peer's next RECV."""
+    return Wqe(opcode=Opcode.SEND, wr_id=wr_id, laddr=laddr,
+               length=length, flags=_flags(signaled))
+
+
+def wr_recv(laddr: int = 0, length: int = 0, wr_id: int = 0,
+            sges: Optional[List[Sge]] = None) -> Wqe:
+    """A RECV sink: a single buffer or a scatter list (max 16 SGEs)."""
+    return Wqe(opcode=Opcode.RECV, wr_id=wr_id, laddr=laddr,
+               length=length, sges=sges)
+
+
+def wr_cas(raddr: int, rkey: int, compare: int, swap: int,
+           result_laddr: int = 0, wr_id: int = 0,
+           signaled: bool = True) -> Wqe:
+    """64-bit compare-and-swap on remote memory; original -> laddr."""
+    return Wqe(opcode=Opcode.CAS, wr_id=wr_id, laddr=result_laddr,
+               raddr=raddr, rkey=rkey, operand0=compare, operand1=swap,
+               length=8, flags=_flags(signaled))
+
+
+def wr_fetch_add(raddr: int, rkey: int, delta: int,
+                 result_laddr: int = 0, wr_id: int = 0,
+                 signaled: bool = True) -> Wqe:
+    """64-bit fetch-and-add (the paper's "ADD" verb)."""
+    return Wqe(opcode=Opcode.FETCH_ADD, wr_id=wr_id, laddr=result_laddr,
+               raddr=raddr, rkey=rkey, operand0=delta, length=8,
+               flags=_flags(signaled))
+
+
+def wr_calc(opcode: int, raddr: int, rkey: int, operand: int,
+            result_laddr: int = 0, wr_id: int = 0,
+            signaled: bool = True) -> Wqe:
+    """Mellanox calc verb (MAX/MIN) on a remote u64 (§3.5)."""
+    if opcode not in (Opcode.MAX, Opcode.MIN):
+        raise ValueError(f"not a calc opcode: {opcode:#x}")
+    return Wqe(opcode=opcode, wr_id=wr_id, laddr=result_laddr,
+               raddr=raddr, rkey=rkey, operand0=operand, length=8,
+               flags=_flags(signaled))
+
+
+def wr_noop(wr_id: int = 0, signaled: bool = False) -> Wqe:
+    """NOOP placeholder — the raw material of self-modifying chains."""
+    return Wqe(opcode=Opcode.NOOP, wr_id=wr_id, flags=_flags(signaled))
+
+
+def wr_wait(cq_num: int, count: int, wr_id: int = 0,
+            signaled: bool = False) -> Wqe:
+    """WAIT until CQ ``cq_num`` has seen ``count`` total completions."""
+    return Wqe(opcode=Opcode.WAIT, wr_id=wr_id, target=cq_num,
+               wqe_count=count, flags=_flags(signaled))
+
+
+def wr_enable(wq_num: int, count: int, relative: bool = False,
+              wr_id: int = 0, signaled: bool = False) -> Wqe:
+    """ENABLE WQ ``wq_num`` up to index ``count`` (or by +count)."""
+    extra = WrFlags.ENABLE_RELATIVE if relative else 0
+    return Wqe(opcode=Opcode.ENABLE, wr_id=wr_id, target=wq_num,
+               wqe_count=count, flags=_flags(signaled, extra))

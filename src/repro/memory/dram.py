@@ -1,0 +1,160 @@
+"""Simulated host DRAM.
+
+A :class:`HostMemory` is a flat byte-addressable space backed by a
+``bytearray``, with a bump allocator for carving out buffers (work
+queues, hash tables, slabs). Addresses start at a non-zero base so that
+address 0 can serve as a null pointer for linked data structures.
+
+Ownership: every allocation is tagged with an *owner* string (process
+name). When a process crashes, the OS reclaims its allocations — unless
+they were transferred to a "hull parent" (see :mod:`repro.net.failures`
+and paper §5.6). Reclaimed ranges are poisoned with 0xDE bytes so that
+use-after-free by a still-running RNIC program is loudly wrong rather
+than silently stale, mirroring what happens on real hardware when the
+OS frees pinned pages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .layout import pack_uint, unpack_uint
+
+__all__ = ["HostMemory", "Allocation", "MemoryError_", "NULL_ADDR"]
+
+NULL_ADDR = 0
+
+_POISON = 0xDE
+
+
+class MemoryError_(Exception):
+    """Access outside an allocation or other memory misuse."""
+
+
+class Allocation:
+    """A live allocation: [addr, addr+size), tagged with its owner."""
+
+    __slots__ = ("addr", "size", "owner", "label", "freed")
+
+    def __init__(self, addr: int, size: int, owner: str, label: str):
+        self.addr = addr
+        self.size = size
+        self.owner = owner
+        self.label = label
+        self.freed = False
+
+    def __repr__(self) -> str:
+        return (f"<Allocation {self.label} [{self.addr:#x},"
+                f"{self.addr + self.size:#x}) owner={self.owner}>")
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    def contains(self, addr: int, length: int = 1) -> bool:
+        return self.addr <= addr and addr + length <= self.end
+
+
+class HostMemory:
+    """Byte-addressable simulated DRAM with owner-tagged allocations."""
+
+    BASE_ADDR = 0x1000
+
+    def __init__(self, size: int = 64 * 1024 * 1024, name: str = "dram"):
+        self.name = name
+        self.size = size
+        self._bytes = bytearray(size)
+        self._next = self.BASE_ADDR
+        self._allocations: List[Allocation] = []
+
+    def __repr__(self) -> str:
+        return (f"<HostMemory {self.name} used="
+                f"{self._next - self.BASE_ADDR}/{self.size}>")
+
+    # -- allocation ------------------------------------------------------
+
+    def alloc(self, size: int, owner: str = "kernel", label: str = "",
+              align: int = 8) -> Allocation:
+        """Allocate ``size`` bytes, ``align``-aligned, owned by ``owner``."""
+        if size <= 0:
+            raise MemoryError_(f"bad allocation size {size}")
+        if align & (align - 1):
+            raise MemoryError_(f"alignment {align} is not a power of two")
+        addr = (self._next + align - 1) & ~(align - 1)
+        if addr + size > self.size:
+            raise MemoryError_(
+                f"out of simulated DRAM: need {size} at {addr:#x}")
+        self._next = addr + size
+        allocation = Allocation(addr, size, owner, label or f"alloc{addr:#x}")
+        self._allocations.append(allocation)
+        return allocation
+
+    def free(self, allocation: Allocation) -> None:
+        """Release and poison an allocation (bump allocator: no reuse)."""
+        if allocation.freed:
+            raise MemoryError_(f"double free of {allocation!r}")
+        allocation.freed = True
+        self._bytes[allocation.addr:allocation.end] = bytes(
+            [_POISON]) * allocation.size
+
+    def allocations_owned_by(self, owner: str) -> List[Allocation]:
+        return [a for a in self._allocations
+                if a.owner == owner and not a.freed]
+
+    def transfer_ownership(self, allocation: Allocation,
+                           new_owner: str) -> None:
+        """Re-tag an allocation (the 'empty hull parent' trick, §5.6)."""
+        allocation.owner = new_owner
+
+    def reclaim_owner(self, owner: str) -> List[Allocation]:
+        """Free everything owned by ``owner`` (OS cleanup after a crash)."""
+        reclaimed = self.allocations_owned_by(owner)
+        for allocation in reclaimed:
+            self.free(allocation)
+        return reclaimed
+
+    # -- raw access ------------------------------------------------------
+
+    def _check(self, addr: int, length: int) -> None:
+        if addr < self.BASE_ADDR or addr + length > self.size:
+            raise MemoryError_(
+                f"access [{addr:#x},{addr + length:#x}) outside DRAM")
+
+    def read(self, addr: int, length: int) -> bytes:
+        self._check(addr, length)
+        return bytes(self._bytes[addr:addr + length])
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        self._bytes[addr:addr + len(data)] = data
+
+    def read_uint(self, addr: int, width: int) -> int:
+        return unpack_uint(self.read(addr, width))
+
+    def write_uint(self, addr: int, value: int, width: int) -> None:
+        self.write(addr, pack_uint(value, width))
+
+    def read_u64(self, addr: int) -> int:
+        return self.read_uint(addr, 8)
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write_uint(addr, value, 8)
+
+    def fill(self, addr: int, length: int, byte: int = 0) -> None:
+        self._check(addr, length)
+        self._bytes[addr:addr + length] = bytes([byte]) * length
+
+    def compare_and_swap_u64(self, addr: int, expected: int,
+                             desired: int) -> int:
+        """Atomic 64-bit CAS; returns the *original* value (RDMA CAS
+        semantics: the original value is returned to the initiator)."""
+        original = self.read_u64(addr)
+        if original == expected:
+            self.write_u64(addr, desired)
+        return original
+
+    def fetch_add_u64(self, addr: int, delta: int) -> int:
+        """Atomic 64-bit fetch-and-add (wraps modulo 2^64)."""
+        original = self.read_u64(addr)
+        self.write_u64(addr, (original + delta) & ((1 << 64) - 1))
+        return original

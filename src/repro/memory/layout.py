@@ -1,0 +1,126 @@
+"""Byte-layout codecs for simulated device memory.
+
+RDMA NICs interpret raw bytes: work-queue entries, hash buckets and list
+nodes all have fixed binary layouts, and RedN's self-modifying programs
+work *because* those layouts line up (a READ of a bucket lands its key
+bytes exactly on the id field of a later WQE). All multi-byte fields in
+this reproduction are **big-endian**, matching Mellanox WQE format — the
+reason the paper had to patch Memcached to store bucket pointers in big
+endian (§5.4).
+
+:class:`Struct` is a tiny declarative codec: declare ``(name, offset,
+width)`` fields once and get bounds-checked pack/unpack plus per-field
+address arithmetic (``field_offset`` is what self-modifying code uses to
+aim a CAS or WRITE at a specific field of a specific WQE).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = [
+    "Struct",
+    "Field",
+    "pack_uint",
+    "unpack_uint",
+    "mask",
+]
+
+
+def mask(bits: int) -> int:
+    """All-ones mask of ``bits`` width."""
+    return (1 << bits) - 1
+
+
+def pack_uint(value: int, width: int) -> bytes:
+    """Encode ``value`` as ``width`` big-endian bytes (range-checked)."""
+    if not 0 <= value < (1 << (8 * width)):
+        raise ValueError(f"value {value:#x} does not fit in {width} bytes")
+    return value.to_bytes(width, "big")
+
+
+def unpack_uint(data: bytes) -> int:
+    """Decode big-endian bytes to an unsigned int."""
+    return int.from_bytes(data, "big")
+
+
+class Field:
+    """One fixed-width unsigned big-endian field inside a Struct."""
+
+    __slots__ = ("name", "offset", "width")
+
+    def __init__(self, name: str, offset: int, width: int):
+        self.name = name
+        self.offset = offset
+        self.width = width
+
+    def __repr__(self) -> str:
+        return f"<Field {self.name}@{self.offset}+{self.width}>"
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.width
+
+
+class Struct:
+    """A fixed-size record of big-endian unsigned fields.
+
+    Fields may not overlap; gaps are permitted (reserved bytes) and are
+    preserved as zeroes by :meth:`pack`.
+    """
+
+    def __init__(self, name: str, size: int,
+                 fields: Iterable[Tuple[str, int, int]]):
+        self.name = name
+        self.size = size
+        self.fields: Dict[str, Field] = {}
+        claimed: List[Tuple[int, int]] = []
+        for fname, offset, width in fields:
+            if fname in self.fields:
+                raise ValueError(f"duplicate field {fname!r} in {name}")
+            field = Field(fname, offset, width)
+            if field.end > size:
+                raise ValueError(
+                    f"field {fname!r} ends at {field.end} > size {size}")
+            for lo, hi in claimed:
+                if offset < hi and field.end > lo:
+                    raise ValueError(
+                        f"field {fname!r} overlaps another field in {name}")
+            claimed.append((offset, field.end))
+            self.fields[fname] = field
+
+    def __repr__(self) -> str:
+        return f"<Struct {self.name} size={self.size}>"
+
+    def field_offset(self, fname: str) -> int:
+        """Byte offset of a field — the self-modification aiming point."""
+        return self.fields[fname].offset
+
+    def field_width(self, fname: str) -> int:
+        return self.fields[fname].width
+
+    def pack(self, **values: int) -> bytearray:
+        """Encode field values into a fresh ``size``-byte buffer."""
+        buf = bytearray(self.size)
+        for fname, value in values.items():
+            self.pack_into(buf, 0, fname, value)
+        return buf
+
+    def pack_into(self, buf: bytearray, base: int, fname: str,
+                  value: int) -> None:
+        """Encode one field into ``buf`` at struct base offset ``base``."""
+        field = self.fields[fname]
+        buf[base + field.offset: base + field.end] = pack_uint(
+            value, field.width)
+
+    def unpack(self, buf: bytes, base: int = 0) -> Dict[str, int]:
+        """Decode every field from ``buf`` at base offset ``base``."""
+        if base + self.size > len(buf):
+            raise ValueError(
+                f"buffer too short for {self.name} at offset {base}")
+        return {fname: self.unpack_field(buf, base, fname)
+                for fname in self.fields}
+
+    def unpack_field(self, buf: bytes, base: int, fname: str) -> int:
+        field = self.fields[fname]
+        return unpack_uint(bytes(buf[base + field.offset: base + field.end]))

@@ -1,0 +1,28 @@
+"""Hosts, CPU scheduling, network fabric, and failure injection."""
+
+from .cpu import CpuScheduler
+from .fabric import DEFAULT_ONE_WAY_NS, Fabric, FabricError
+from .failures import (
+    TABLE6_COMPONENTS,
+    ComponentReliability,
+    CrashInjector,
+    RestartPolicy,
+    availability_from_mttf,
+    offload_availability,
+)
+from .node import Host, OsProcess
+
+__all__ = [
+    "CpuScheduler",
+    "ComponentReliability",
+    "CrashInjector",
+    "DEFAULT_ONE_WAY_NS",
+    "Fabric",
+    "FabricError",
+    "Host",
+    "OsProcess",
+    "RestartPolicy",
+    "TABLE6_COMPONENTS",
+    "availability_from_mttf",
+    "offload_availability",
+]

@@ -1,0 +1,114 @@
+"""Host CPU model: cores, run queues, context switches.
+
+Two-sided RPC baselines live or die by this model. It captures the
+effects the paper leans on:
+
+* **queueing** — a thread that needs CPU waits for a free core behind
+  every runnable thread ahead of it; under writer-generated load this
+  is what blows up two-sided *get* latency in Fig 15.
+* **time slicing** — when cores are contended, threads run in slices
+  and pay a context-switch penalty per slice ("CPU contention ... can
+  lead to arbitrary context switches, which can, in turn, inflate
+  average and tail latencies", §5.5).
+* **blocking wake-ups** — a thread sleeping on an event (the
+  event-based completion mode of §5.2.2) pays scheduler wake-up latency
+  before it runs, which is why event-based RPC is 3.8× slower than
+  RedN even on an idle machine.
+
+The model is run-to-completion with cooperative slicing: exact enough
+to reproduce the latency distributions, simple enough to stay fast.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim.core import Event, Simulator
+from ..sim.resources import Resource
+
+__all__ = ["CpuScheduler"]
+
+
+class CpuScheduler:
+    """``num_cores`` cores with FIFO run queues and slice accounting."""
+
+    def __init__(self, sim: Simulator, num_cores: int = 16,
+                 time_slice_ns: int = 50_000,
+                 context_switch_ns: int = 2_000,
+                 wakeup_ns: int = 4_000, name: str = "cpu"):
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.sim = sim
+        self.name = name
+        self.num_cores = num_cores
+        self.time_slice_ns = time_slice_ns
+        self.context_switch_ns = context_switch_ns
+        self.wakeup_ns = wakeup_ns
+        self.cores = Resource(sim, num_cores, name=f"{name}-cores")
+        self.running = True
+
+    def __repr__(self) -> str:
+        return (f"<CpuScheduler {self.name} {self.cores.in_use}"
+                f"/{self.num_cores} runq={self.cores.queue_length}>")
+
+    @property
+    def load(self) -> int:
+        """Runnable threads currently waiting for a core."""
+        return self.cores.queue_length
+
+    def run(self, duration_ns: int) -> Generator:
+        """Consume ``duration_ns`` of CPU time, honouring contention.
+
+        Uncontended, this is a single grant for the full duration.
+        Contended, the work is cut into time slices: after each slice
+        the core is yielded (context switch) and the thread requeues,
+        exposing it to the queueing delays that create Fig 15's tails.
+        """
+        remaining = int(duration_ns)
+        if not self.running:
+            # A panicked kernel never schedules anyone again: the
+            # thread freezes here (rather than returning and letting
+            # its caller spin).
+            yield self.sim.event(name=f"{self.name}-halted")
+            return
+        while remaining > 0 and self.running:
+            grant = yield self.cores.acquire()
+            if not self.running:
+                self.cores.release(grant)
+                yield self.sim.event(name=f"{self.name}-halted")
+                return
+            contended = self.cores.queue_length > 0
+            if contended and remaining > self.time_slice_ns:
+                slice_ns = self.time_slice_ns
+            else:
+                slice_ns = remaining
+            yield self.sim.timeout(slice_ns)
+            remaining -= slice_ns
+            if remaining > 0:
+                # Pay the involuntary context switch before requeueing.
+                yield self.sim.timeout(self.context_switch_ns)
+            self.cores.release(grant)
+
+    def block_on(self, event: Event) -> Generator:
+        """Sleep until ``event``, then pay scheduler wake-up latency.
+
+        This is the cost profile of epoll/completion-channel servers:
+        no CPU burned while idle, but every request eats a wake-up.
+        """
+        if not event.triggered:
+            yield event
+        yield self.sim.timeout(self.wakeup_ns)
+        # Getting back on a core competes with whatever else is runnable.
+        yield from self.run(self.context_switch_ns)
+        return event.value
+
+    def acquire_core(self) -> Event:
+        """Pin a core indefinitely (a busy-polling thread, §5.2.2)."""
+        return self.cores.acquire()
+
+    def release_core(self, grant: int) -> None:
+        self.cores.release(grant)
+
+    def halt(self) -> None:
+        """Kernel panic: no thread makes progress anymore (§5.6)."""
+        self.running = False

@@ -1,0 +1,54 @@
+"""The network fabric: point-to-point links between NICs.
+
+The paper's testbed connects three servers with back-to-back 100 Gb/s
+InfiniBand links (§5, "Testbed") — no switch. :class:`Fabric` mirrors
+that: explicit pairwise links with a configurable one-way latency
+(default calibrated to the paper's measured ~0.25 µs RTT, Fig 7).
+Bandwidth is enforced at the NIC ports (wire serialization), so the
+fabric itself only contributes propagation delay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..nic.rnic import RNIC
+from ..sim.core import Simulator
+
+__all__ = ["Fabric", "FabricError"]
+
+DEFAULT_ONE_WAY_NS = 125
+
+
+class FabricError(Exception):
+    """Topology misuse: message to an unlinked NIC."""
+
+
+class Fabric:
+    """A set of point-to-point links between RNICs."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._links: Dict[Tuple[int, int], int] = {}
+
+    def connect(self, nic_a: RNIC, nic_b: RNIC,
+                one_way_ns: int = DEFAULT_ONE_WAY_NS) -> None:
+        """Create a bidirectional link (back-to-back cable)."""
+        if nic_a is nic_b:
+            raise FabricError("cannot link a NIC to itself")
+        self._links[(id(nic_a), id(nic_b))] = one_way_ns
+        self._links[(id(nic_b), id(nic_a))] = one_way_ns
+        nic_a.link_latency_fn = self._latency_fn(nic_a)
+        nic_b.link_latency_fn = self._latency_fn(nic_b)
+
+    def linked(self, nic_a: RNIC, nic_b: RNIC) -> bool:
+        return (id(nic_a), id(nic_b)) in self._links
+
+    def _latency_fn(self, nic: RNIC):
+        def lookup(other: RNIC) -> int:
+            key = (id(nic), id(other))
+            if key not in self._links:
+                raise FabricError(
+                    f"{nic.name} has no link to {other.name}")
+            return self._links[key]
+        return lookup

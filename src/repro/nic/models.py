@@ -1,0 +1,110 @@
+"""RNIC device profiles (paper Table 1).
+
+The paper measures verb-processing bandwidth doubling with each
+ConnectX generation, tracking the number of processing units (PUs):
+
+    ConnectX-3 (2014):  2 PUs/port,  15 M verbs/s
+    ConnectX-5 (2016):  8 PUs/port,  63 M verbs/s
+    ConnectX-6 (2017): 16 PUs/port, 112 M verbs/s
+
+Profiles below scale per-PU occupancy so the aggregate rates match.
+ConnectX-4 is included because the paper calls out two of its quirks:
+atomics implemented with a proprietary concurrency-control scheme
+(higher latency, Fig 7 footnote) and the deprecation of work-request
+ownership that broke Hyperloop (§2.2). All profiles since ConnectX-3
+support WAIT/ENABLE cross-channel verbs (§4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .timing import CONNECTX5_TIMING, TimingModel
+
+__all__ = [
+    "DeviceModel",
+    "CONNECTX3",
+    "CONNECTX4",
+    "CONNECTX5",
+    "CONNECTX6",
+    "ALL_MODELS",
+]
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Static description of one RNIC product generation."""
+
+    name: str
+    year: int
+    pus_per_port: int
+    num_ports: int
+    timing: TimingModel
+    supports_wait_enable: bool = True
+    supports_calc_verbs: bool = True     # Mellanox-only MAX/MIN (§3.5)
+    atomics_via_pcie: bool = True        # False: proprietary scheme (CX-4)
+
+    def scaled_timing(self) -> TimingModel:
+        return self.timing
+
+
+def _gen_timing(write_occ_ns: int, base: TimingModel,
+                pus_per_port: int = 8,
+                atomic_extra_ns: int = 0) -> TimingModel:
+    """Scale per-verb PU occupancy relative to the ConnectX-5 baseline.
+
+    The WQE-fetch engine grows with the PU array (otherwise it would
+    cap ConnectX-6 below its measured 112 M verbs/s).
+    """
+    factor = write_occ_ns / base.pu_occupancy_ns[3]  # WRITE opcode == 3
+    occupancy = {op: max(1, int(ns * factor))
+                 for op, ns in base.pu_occupancy_ns.items()}
+    return base.with_overrides(
+        pu_occupancy_ns=occupancy,
+        atomic_pcie_ns=base.atomic_pcie_ns + atomic_extra_ns,
+        batch_fetch_hold_per_wqe_ns=max(
+            2, base.batch_fetch_hold_per_wqe_ns * 8 // pus_per_port),
+    )
+
+
+# 2 PUs at ~133 ns/verb -> 15 M verbs/s.
+CONNECTX3 = DeviceModel(
+    name="ConnectX-3", year=2014, pus_per_port=2, num_ports=2,
+    timing=_gen_timing(133, CONNECTX5_TIMING, pus_per_port=2),
+    supports_calc_verbs=False, atomics_via_pcie=False,
+)
+
+# Paper footnote 2: CX-4 atomics use a proprietary concurrency-control
+# mechanism with noticeably higher latency than PCIe atomics.
+CONNECTX4 = DeviceModel(
+    name="ConnectX-4", year=2015, pus_per_port=4, num_ports=2,
+    timing=_gen_timing(127, CONNECTX5_TIMING, pus_per_port=4,
+                       atomic_extra_ns=400),
+    atomics_via_pcie=False,
+)
+
+# The evaluation platform: 8 PUs at ~127 ns/verb -> 63 M verbs/s.
+CONNECTX5 = DeviceModel(
+    name="ConnectX-5", year=2016, pus_per_port=8, num_ports=2,
+    timing=CONNECTX5_TIMING,
+)
+
+# 16 PUs at ~143 ns/verb -> 112 M verbs/s.
+CONNECTX6 = DeviceModel(
+    name="ConnectX-6", year=2017, pus_per_port=16, num_ports=2,
+    timing=_gen_timing(143, CONNECTX5_TIMING, pus_per_port=16),
+)
+
+# The paper's §6 discussion: next-generation Intel RNICs (E810 class)
+# are expected to support atomics — enough for conditionals — and a
+# per-WQE validity bit can emulate ENABLE, but there is no WAIT
+# equivalent, so client-triggered pre-posted chains need an external
+# doorbell workaround. RedN therefore cannot deploy on them as-is;
+# the repro enforces this at program-construction time.
+INTEL_E810 = DeviceModel(
+    name="Intel-E810", year=2021, pus_per_port=8, num_ports=2,
+    timing=CONNECTX5_TIMING,
+    supports_wait_enable=False, supports_calc_verbs=False,
+)
+
+ALL_MODELS = (CONNECTX3, CONNECTX4, CONNECTX5, CONNECTX6, INTEL_E810)

@@ -1,0 +1,223 @@
+"""Send-queue drivers: the PU contexts that fetch and execute WQEs.
+
+One :class:`SendQueueDriver` process runs per send queue. Its loop is
+the behavioural core of the reproduction:
+
+* **fetch** — WQE *bytes* are read from host memory. Normal queues
+  prefetch a batch per DMA; what executes is the snapshot taken at
+  fetch time, so modifying a WQE after it was prefetched has no effect
+  (the incoherence hazard of §3.1). Managed queues never fetch past
+  their ``enabled_count`` and fetch strictly one-by-one — doorbell
+  ordering, the mode self-modifying code requires.
+* **WAIT** — blocks the queue until a target CQ's completion count
+  reaches the WQE's ``wqe_count`` (completion ordering, Fig 2a).
+* **ENABLE** — raises a target WQ's fetch limit (Fig 2b); with the
+  ENABLE_RELATIVE flag it advances the limit by a delta, which is what
+  lets a recycled ring re-arm itself past the producer index (§3.4).
+* **data verbs** — occupy the queue's PU for the verb's processing
+  time, then run their (possibly remote) data path asynchronously so
+  that WQ-ordered chains pipeline; completions are delivered strictly
+  in WR order per queue.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from ..memory.dram import MemoryError_
+from ..memory.region import ProtectionError
+from ..sim.core import Event
+from .opcodes import Opcode, WrFlags
+from .queue import Cqe, QueueError, WorkQueue
+from .wqe import Wqe
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .rnic import RNIC
+
+__all__ = ["SendQueueDriver"]
+
+
+class SendQueueDriver:
+    """The execution loop bound to one send queue."""
+
+    def __init__(self, nic: "RNIC", wq: WorkQueue):
+        self.nic = nic
+        self.wq = wq
+        self.stats: Counter = Counter()
+        self._prev_completion: Event = nic.sim.event()
+        self._prev_completion.trigger(None)
+        self.process = None
+
+    def start(self) -> None:
+        self.process = self.nic.sim.process(
+            self._run(), name=f"driver:{self.wq.name}")
+
+    # -- main loop ---------------------------------------------------------
+
+    def _run(self):
+        wq = self.wq
+        while self.nic.alive and not wq.destroyed:
+            if wq.fetchable == 0:
+                yield wq.work_available()
+                continue
+            batch = yield from self._fetch()
+            for wqe, wr_index in batch:
+                if wq.destroyed or not self.nic.alive:
+                    return
+                yield from self._execute(wqe, wr_index)
+
+    # -- fetch path ----------------------------------------------------------
+
+    def _fetch(self) -> List[Tuple[Wqe, int]]:
+        timing = self.nic.timing
+        wq = self.wq
+        engine = self.nic.port_of(wq).fetch_engine
+        sim = self.nic.sim
+        if wq.managed:
+            # Doorbell ordering: one dependent DMA per WQE. Data verbs
+            # hold the engine past the fetch latency (their completion
+            # writeback shares the context); WAIT/ENABLE are recognized
+            # at fetch time and release immediately — that asymmetry is
+            # what separates if-chain and recycled-while throughput.
+            grant = yield engine.acquire()
+            yield sim.timeout(timing.wqe_fetch_ns)
+            if wq.destroyed:
+                engine.release(grant)
+                return []
+            wqe, slots = wq.read_wqe_at_cursor()
+            wr_index = wq.fetched_count
+            wq.advance_fetch(slots)
+            extra_hold = timing.managed_fetch_hold_ns - timing.wqe_fetch_ns
+            if extra_hold > 0 and wqe.opcode not in (Opcode.WAIT,
+                                                     Opcode.ENABLE):
+                sim.process(self._release_later(engine, grant, extra_hold))
+            else:
+                engine.release(grant)
+            self.stats["fetch_managed"] += 1
+            return [(wqe, wr_index)]
+
+        count = min(wq.fetchable, timing.prefetch_batch)
+        grant = yield engine.acquire()
+        hold = timing.batch_fetch_hold_per_wqe_ns * count
+        if hold:
+            yield sim.timeout(hold)
+        engine.release(grant)
+        remaining = timing.wqe_fetch_ns - hold
+        if remaining > 0:
+            yield sim.timeout(remaining)
+        if wq.destroyed:
+            return []
+        batch = []
+        for _ in range(count):
+            if wq.fetchable == 0:
+                break
+            wqe, slots = wq.read_wqe_at_cursor()
+            wr_index = wq.fetched_count
+            wq.advance_fetch(slots)
+            batch.append((wqe, wr_index))
+        self.stats["fetch_batches"] += 1
+        self.stats["fetch_prefetched"] += len(batch)
+        return batch
+
+    def _release_later(self, engine, grant, delay: int):
+        yield self.nic.sim.timeout(delay)
+        engine.release(grant)
+
+    # -- execute path -----------------------------------------------------------
+
+    def _execute(self, wqe: Wqe, wr_index: int):
+        sim = self.nic.sim
+        timing = self.nic.timing
+        wq = self.wq
+        opcode = wqe.opcode
+        self.stats[opcode] += 1
+        self.nic_stats_bump(opcode)
+
+        if wq.rate_limiter is not None:
+            yield from wq.rate_limiter.throttle(1.0)
+
+        if opcode == Opcode.WAIT:
+            cq = self.nic.cqs.get(wqe.target)
+            if cq is None:
+                self._signal(wqe, wr_index, status="BAD_WAIT_TARGET")
+                return
+            yield cq.wait_for_count(wqe.wqe_count)
+            yield sim.timeout(timing.wait_check_ns)
+            self._signal_if_requested(wqe, wr_index)
+            return
+
+        if opcode == Opcode.ENABLE:
+            target = self.nic.wqs.get(wqe.target)
+            yield sim.timeout(timing.enable_ns)
+            if target is None or target.destroyed:
+                self._signal(wqe, wr_index, status="BAD_ENABLE_TARGET")
+                return
+            target.enable(
+                wqe.wqe_count,
+                relative=bool(wqe.flags & WrFlags.ENABLE_RELATIVE))
+            self._signal_if_requested(wqe, wr_index)
+            return
+
+        if wqe.flags & WrFlags.FENCE:
+            yield self._prev_completion
+
+        pu = self.nic.port_of(wq).pus[wq.pu_index]
+        yield from pu.use(timing.occupancy(opcode))
+
+        prev = self._prev_completion
+        done = sim.event()
+        self._prev_completion = done
+        if wq.managed:
+            # Doorbell ordering executes run-to-completion: the fetch
+            # context is held until the WR finishes, so the next WQE is
+            # neither fetched nor executed before this one completes —
+            # exactly the consistency self-modifying chains need (§3.1)
+            # and why "no latency-hiding is possible" in Fig 8.
+            yield from self._complete(wqe, wr_index, prev, done)
+        else:
+            # WQ ordering pipelines: the data path runs asynchronously
+            # and completions chain on ``prev`` so CQEs are delivered
+            # strictly in WR order.
+            sim.process(self._complete(wqe, wr_index, prev, done),
+                        name=f"op:{self.wq.name}:{wr_index}")
+
+    def _complete(self, wqe: Wqe, wr_index: int, prev: Event, done: Event):
+        status, byte_len, immediate = "OK", 0, 0
+        try:
+            byte_len, immediate = yield from self.nic.executor.perform(
+                self.wq.qp, wqe)
+        except ProtectionError:
+            status = "PROTECTION_ERROR"
+        except MemoryError_:
+            status = "MEMORY_ERROR"
+        except QueueError:
+            status = "QUEUE_ERROR"
+        if not prev.triggered:
+            yield prev
+        if wqe.signaled or status != "OK":
+            self._signal(wqe, wr_index, status=status, byte_len=byte_len,
+                         immediate=immediate)
+        done.trigger(None)
+
+    # -- completion helpers ---------------------------------------------------
+
+    def _signal_if_requested(self, wqe: Wqe, wr_index: int) -> None:
+        if wqe.signaled:
+            self._signal(wqe, wr_index, status="OK")
+
+    def _signal(self, wqe: Wqe, wr_index: int, status: str,
+                byte_len: int = 0, immediate: int = 0) -> None:
+        cqe = Cqe(wr_id=wqe.wr_id, opcode=wqe.opcode, status=status,
+                  wq_num=self.wq.wq_num, byte_len=byte_len,
+                  immediate=immediate, timestamp=self.nic.sim.now)
+        self.wq.cq.post_completion(
+            cqe, host_delay_ns=self.nic.timing.cqe_dma_ns)
+
+    def nic_stats_bump(self, opcode: int) -> None:
+        stats = getattr(self.nic, "stats", None)
+        if stats is None:
+            stats = Counter()
+            self.nic.stats = stats
+        stats[opcode] += 1
+        stats["total_wrs"] += 1

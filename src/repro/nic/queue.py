@@ -1,0 +1,358 @@
+"""Work queues and completion queues.
+
+A :class:`WorkQueue` is a circular buffer of WQE slots living in
+*simulated host memory* — not a Python list of WR objects. This is what
+makes self-modifying RDMA programs real in this reproduction: a CAS or
+WRITE that lands on queue memory changes what the NIC will execute,
+subject to the same fetch/prefetch hazards as on hardware.
+
+Counter discipline (all counters are WR-granular and **monotonic**,
+they never reset when the ring wraps — the ConnectX behaviour that
+forces WQ recycling to patch wqe_count fields with ADD verbs, §3.4):
+
+* ``posted_count``   — WRs written into the ring by the host.
+* ``enabled_count``  — fetch limit. For a normal queue the host's
+  doorbell keeps it equal to ``posted_count``; for a *managed* queue it
+  only advances via explicit doorbells or ENABLE verbs, and may exceed
+  ``posted_count`` — that is WQ recycling: the NIC wraps around and
+  re-executes ring contents without the CPU re-posting anything.
+* ``fetched_count`` / ``executed_count`` — consumer progress.
+
+A :class:`CompletionQueue` keeps a monotonic completion *count* (what
+WAIT verbs compare against) plus a FIFO of CQEs for host polling and an
+event channel for blocking consumers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, List, Optional, TYPE_CHECKING, Tuple
+
+from ..memory.dram import Allocation, HostMemory
+from ..sim.core import Event, Simulator
+from ..sim.resources import Resource, TokenBucket
+from .opcodes import OPCODE_NAMES
+from .wqe import WQE_SLOT_SIZE, Wqe
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .qp import QueuePair
+
+__all__ = ["WorkQueue", "CompletionQueue", "Cqe", "QueueError"]
+
+
+class QueueError(Exception):
+    """Work-queue misuse (overflow, posting to a destroyed queue...)."""
+
+
+class Cqe:
+    """A completion-queue entry as seen by the host."""
+
+    __slots__ = ("wr_id", "opcode", "status", "wq_num", "byte_len",
+                 "immediate", "timestamp")
+
+    def __init__(self, wr_id: int, opcode: int, status: str, wq_num: int,
+                 byte_len: int = 0, immediate: int = 0, timestamp: int = 0):
+        self.wr_id = wr_id
+        self.opcode = opcode
+        self.status = status
+        self.wq_num = wq_num
+        self.byte_len = byte_len
+        self.immediate = immediate
+        self.timestamp = timestamp
+
+    def __repr__(self) -> str:
+        name = OPCODE_NAMES.get(self.opcode, f"OP{self.opcode:#x}")
+        return (f"<Cqe {name} wr_id={self.wr_id:#x} status={self.status}"
+                f" t={self.timestamp}>")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "OK"
+
+
+class CompletionQueue:
+    """Monotonic completion counter + pollable CQE FIFO."""
+
+    def __init__(self, sim: Simulator, cq_num: int, name: str = ""):
+        self.sim = sim
+        self.cq_num = cq_num
+        self.name = name or f"cq{cq_num}"
+        self.count = 0                      # monotonic, for WAIT verbs
+        self._entries: Deque[Cqe] = deque()  # host-visible CQEs
+        self._watchers: List[Tuple[int, Event]] = []
+        self._channel_waiters: Deque[Event] = deque()
+        self.destroyed = False
+
+    def __repr__(self) -> str:
+        return f"<CQ {self.name} count={self.count}>"
+
+    def post_completion(self, cqe: Cqe, host_delay_ns: int = 0) -> None:
+        """Record a completion.
+
+        The monotonic counter (what WAIT verbs snoop, inside the NIC)
+        bumps immediately; the host-visible CQE appears ``host_delay_ns``
+        later, modelling the posted DMA write of the CQE to host memory.
+        This split is why completion-ordered chains only pay ~20 ns per
+        WAIT (Fig 8) while host pollers see the full CQE DMA latency
+        (Fig 7).
+        """
+        if self.destroyed:
+            return
+        self.count += 1
+        ready = [(n, ev) for n, ev in self._watchers if self.count >= n]
+        self._watchers = [(n, ev) for n, ev in self._watchers
+                          if self.count < n]
+        for _n, event in ready:
+            event.trigger(self.count)
+        if host_delay_ns > 0:
+            self.sim.schedule_at(self.sim.now + host_delay_ns,
+                                 self._deliver_to_host, cqe)
+        else:
+            self._deliver_to_host(cqe)
+
+    def _deliver_to_host(self, cqe: Cqe) -> None:
+        if self.destroyed:
+            return
+        self._entries.append(cqe)
+        if self._channel_waiters:
+            self._channel_waiters.popleft().trigger(None)
+
+    def wait_for_count(self, threshold: int) -> Event:
+        """Event triggering once ``count >= threshold`` (WAIT verb hook)."""
+        event = self.sim.event(name=f"{self.name}>= {threshold}")
+        if self.count >= threshold:
+            event.trigger(self.count)
+        else:
+            self._watchers.append((threshold, event))
+        return event
+
+    def poll(self) -> Optional[Cqe]:
+        """Non-blocking poll: pop the oldest unconsumed CQE, if any."""
+        if self._entries:
+            return self._entries.popleft()
+        return None
+
+    def wait_for_event(self) -> Event:
+        """Blocking notification channel (event-based completion, §5.2.2).
+
+        Triggers when a CQE is available (immediately if one is already
+        queued). The caller still consumes CQEs via :meth:`poll`.
+        """
+        event = self.sim.event(name=f"{self.name}-channel")
+        if self._entries:
+            event.trigger(None)
+        else:
+            self._channel_waiters.append(event)
+        return event
+
+    def destroy(self) -> None:
+        self.destroyed = True
+
+
+class WorkQueue:
+    """A send or receive queue: a WQE ring in simulated host memory."""
+
+    _KINDS = ("send", "recv")
+
+    def __init__(self, sim: Simulator, memory: HostMemory, wq_num: int,
+                 kind: str, num_slots: int, cq: CompletionQueue,
+                 managed: bool = False, owner: str = "kernel",
+                 name: str = ""):
+        if kind not in self._KINDS:
+            raise QueueError(f"bad queue kind {kind!r}")
+        if num_slots < 1:
+            raise QueueError("queue needs at least one slot")
+        self.sim = sim
+        self.memory = memory
+        self.wq_num = wq_num
+        self.kind = kind
+        self.num_slots = num_slots
+        self.cq = cq
+        self.managed = managed
+        self.name = name or f"wq{wq_num}"
+        self.ring: Allocation = memory.alloc(
+            num_slots * WQE_SLOT_SIZE, owner=owner,
+            label=f"{self.name}-ring", align=WQE_SLOT_SIZE)
+        self.qp: Optional["QueuePair"] = None
+
+        # Producer side (WR granularity, monotonic).
+        self.posted_count = 0
+        self._post_slot_cursor = 0           # slot-granular producer cursor
+        # Fetch limit (monotonic). Normal queues: kept equal to
+        # posted_count by post-time doorbells.
+        self.enabled_count = 0
+        # Consumer side.
+        self.fetched_count = 0
+        self._fetch_slot_cursor = 0
+        self.executed_count = 0
+
+        self.rate_limiter: Optional[TokenBucket] = None
+        self.destroyed = False
+        self._work_events: List[Event] = []
+        # Serializes inbound SEND consumption for recv queues.
+        self.consume_lock = Resource(sim, 1, name=f"{self.name}-consume")
+        self._recv_waiters: Deque[Event] = deque()
+
+        # PU assignment happens when the owning RNIC adopts the queue.
+        self.pu_index: Optional[int] = None
+        self.port_index: int = 0
+        # Host doorbells are MMIO writes and take this long to reach
+        # the device; set by the adopting RNIC from its timing model.
+        self.doorbell_delay_ns: int = 0
+
+    def __repr__(self) -> str:
+        return (f"<WQ {self.name} {self.kind} posted={self.posted_count} "
+                f"enabled={self.enabled_count} exec={self.executed_count}"
+                f"{' managed' if self.managed else ''}>")
+
+    # -- geometry ---------------------------------------------------------
+
+    def slot_addr(self, slot_cursor: int) -> int:
+        """Host address of a (monotonic) slot cursor, ring-wrapped."""
+        return self.ring.addr + (slot_cursor % self.num_slots) * WQE_SLOT_SIZE
+
+    @property
+    def ring_addr(self) -> int:
+        return self.ring.addr
+
+    @property
+    def free_slots(self) -> int:
+        consumed_slots = self._fetch_slot_cursor
+        return self.num_slots - (self._post_slot_cursor - consumed_slots)
+
+    # -- producer (host) API ----------------------------------------------
+
+    def post(self, wqe: Wqe, ring_doorbell: Optional[bool] = None) -> int:
+        """Write a WQE into the ring; returns its WR index.
+
+        ``ring_doorbell`` defaults to True for normal queues and False
+        for managed queues (the paper's "managed flag [...] disables the
+        driver from issuing doorbells after a WR is posted", §5).
+        """
+        if self.destroyed:
+            raise QueueError(f"post to destroyed {self!r}")
+        data = wqe.encode()
+        slots = len(data) // WQE_SLOT_SIZE
+        if slots > self.num_slots:
+            raise QueueError(f"WQE of {slots} slots exceeds ring size")
+        if slots > self.free_slots:
+            raise QueueError(
+                f"{self!r} overflow: {slots}-slot WQE but only "
+                f"{self.free_slots} slots free")
+        for index in range(slots):
+            self.memory.write(
+                self.slot_addr(self._post_slot_cursor + index),
+                bytes(data[index * WQE_SLOT_SIZE:(index + 1) * WQE_SLOT_SIZE]))
+        self._post_slot_cursor += slots
+        wr_index = self.posted_count
+        self.posted_count += 1
+        if ring_doorbell is None:
+            ring_doorbell = not self.managed
+        if ring_doorbell:
+            self.doorbell()
+        return wr_index
+
+    def doorbell(self, up_to: Optional[int] = None) -> None:
+        """Host doorbell: raise the fetch limit (default: all posted).
+
+        The raise lands after the doorbell MMIO propagation delay —
+        part of every verb's base latency in Fig 7.
+        """
+        target = self.posted_count if up_to is None else up_to
+        if self.doorbell_delay_ns > 0:
+            self.sim.schedule_at(self.sim.now + self.doorbell_delay_ns,
+                                 self._raise_enabled, target)
+        else:
+            self._raise_enabled(target)
+
+    def enable(self, value: int, relative: bool = False) -> None:
+        """ENABLE verb entry point: raise the fetch limit from the NIC."""
+        target = self.enabled_count + value if relative else value
+        self._raise_enabled(target)
+
+    def _raise_enabled(self, target: int) -> None:
+        if target > self.enabled_count:
+            self.enabled_count = target
+            self._wake()
+            self._wake_recv_waiters()
+
+    # -- consumer (NIC) API -------------------------------------------------
+
+    @property
+    def fetchable(self) -> int:
+        """WRs the NIC may fetch right now."""
+        limit = self.enabled_count
+        if not self.managed:
+            limit = min(limit, self.posted_count)
+        return max(0, limit - self.fetched_count)
+
+    def work_available(self) -> Event:
+        """Event that triggers when at least one WR becomes fetchable."""
+        event = self.sim.event(name=f"{self.name}-work")
+        if self.fetchable > 0 or self.destroyed:
+            event.trigger(None)
+        else:
+            self._work_events.append(event)
+        return event
+
+    def _wake(self) -> None:
+        events, self._work_events = self._work_events, []
+        for event in events:
+            event.trigger(None)
+
+    def read_wqe_at_cursor(self) -> Tuple[Wqe, int]:
+        """Read the WQE at the fetch cursor from host memory.
+
+        Returns (wqe, slots). Does not advance the cursor — the caller
+        advances after modelling the DMA delay so that racing writes to
+        queue memory behave like they do on hardware.
+        """
+        header = self.memory.read(
+            self.slot_addr(self._fetch_slot_cursor), WQE_SLOT_SIZE)
+        num_slots = header[54]  # num_slots field, avoids full decode
+        buf = bytearray(header)
+        for index in range(1, max(1, num_slots)):
+            buf.extend(self.memory.read(
+                self.slot_addr(self._fetch_slot_cursor + index),
+                WQE_SLOT_SIZE))
+        return Wqe.decode(bytes(buf)), max(1, num_slots)
+
+    def advance_fetch(self, slots: int) -> None:
+        self._fetch_slot_cursor += slots
+        self.fetched_count += 1
+
+    # -- recv-queue consumption (inbound SEND path) -------------------------
+
+    @property
+    def consumable_recvs(self) -> int:
+        limit = self.enabled_count
+        if not self.managed:
+            limit = min(limit, self.posted_count)
+        return max(0, limit - self.fetched_count)
+
+    def recv_available(self) -> Event:
+        """Event for an inbound SEND waiting for a consumable RECV."""
+        event = self.sim.event(name=f"{self.name}-recv-avail")
+        if self.consumable_recvs > 0 or self.destroyed:
+            event.trigger(None)
+        else:
+            self._recv_waiters.append(event)
+        return event
+
+    def _wake_recv_waiters(self) -> None:
+        while self._recv_waiters and self.consumable_recvs > 0:
+            self._recv_waiters.popleft().trigger(None)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def set_rate_limit(self, ops_per_sec: float, burst: float = 32) -> None:
+        """Attach a WQ rate limiter (paper §3.5, isolation)."""
+        self.rate_limiter = TokenBucket(
+            self.sim, ops_per_sec, burst, name=f"{self.name}-rl")
+
+    def destroy(self) -> None:
+        """Tear the queue down (process death without a hull parent)."""
+        self.destroyed = True
+        self._wake()
+        self._wake_recv_waiters()

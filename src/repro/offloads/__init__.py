@@ -1,0 +1,14 @@
+"""RedN offload programs: hash lookup (Fig 9), list traversal (Fig 12)."""
+
+from .hash_lookup import HashGetOffload, hash_get_payload
+from .list_traversal import ListTraversalOffload, list_get_payload
+from .recycled_get import RECYCLED_CONN_KWARGS, RecycledHashGetOffload
+
+__all__ = [
+    "HashGetOffload",
+    "RECYCLED_CONN_KWARGS",
+    "RecycledHashGetOffload",
+    "ListTraversalOffload",
+    "hash_get_payload",
+    "list_get_payload",
+]

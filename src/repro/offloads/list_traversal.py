@@ -1,0 +1,307 @@
+"""Offloaded linked-list traversal (paper §5.3, Fig 12).
+
+The loop body, per node, entirely on the server NIC:
+
+* a READ of the 26-byte node ``[key|valptr|vlen|next]`` whose response
+  *scatters*: key/pointer/length bytes prepare the response machinery,
+  and the trailing ``next`` pointer lands directly in the **next
+  iteration's READ raddr field** — pointer chasing by WQE
+  self-modification;
+* a WRITE copying the client's compare word into the iteration's CAS
+  (Fig 12's R2 — one injection point reused every iteration instead of
+  burning a RECV scatter per iteration: "RECVs can only perform 16
+  scatters");
+* the CAS conditional arming either the response directly (**plain**
+  variant) or the break WRITE (**break** variant, Fig 6).
+
+Fig 13's trade-off reproduces mechanically:
+
+* plain — all ``max_nodes`` iterations always execute. The response
+  fires as soon as its iteration hits, so latency is minimal, but >65%
+  more WRs execute per request. Instances can be freely pre-posted.
+* break — each iteration carries the break machinery: the armed break
+  WRITE installs a prepared 2-WQE image that arms the response *and*
+  clears the following gate's SIGNALED flag, starving the control
+  chain's WAIT so no later iteration runs. Stopping the chain mid-way
+  leaves un-executed WRs behind, so the host performs a small
+  ``finish_request`` cleanup between requests (the CPU-assisted
+  reposting the paper attributes to unrolled loops, §3.4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..datastructs.linkedlist import LinkedList
+from ..ibv.wr import wr_noop, wr_read, wr_recv, wr_write, wr_write_imm
+from ..memory.layout import pack_uint
+from ..memory.region import MemoryRegion
+from ..nic.opcodes import Opcode, WrFlags
+from ..nic.wqe import Sge, WQE_HEADER, ctrl_word
+from ..redn.builder import ProgramBuilder
+from ..redn.constructs import BreakImage
+from ..redn.offload import OffloadConnection
+from ..redn.program import RednContext, WrRef
+
+__all__ = ["ListTraversalOffload", "list_get_payload"]
+
+_PATCH_LEN = 18          # key + valptr + vlen
+_NODE_READ_LEN = 26      # ... + next pointer
+
+
+def list_get_payload(head_addr: int, key: int) -> bytes:
+    """Client request: [compare_word | first_node_addr] (Fig 12)."""
+    return pack_uint(ctrl_word(Opcode.NOOP, key), 8) + pack_uint(
+        head_addr, 8)
+
+
+class _Instance:
+    """Bookkeeping for one posted request instance (break variant)."""
+
+    def __init__(self):
+        self.reads: List[WrRef] = []
+        self.gates: List[WrRef] = []
+        self.one_shot_queues: List = []
+        self.last_lane_index = 0
+
+
+class ListTraversalOffload:
+    """Server-side Fig 12 program over a :class:`LinkedList`."""
+
+    def __init__(self, ctx: RednContext, linked_list: LinkedList,
+                 data_mr: MemoryRegion, conn: OffloadConnection,
+                 max_nodes: int = 8, use_break: bool = False,
+                 name: str = "listget"):
+        if max_nodes < 1:
+            raise ValueError("need at least one iteration")
+        self.ctx = ctx
+        self.list = linked_list
+        self.data_mr = data_mr
+        self.conn = conn
+        self.max_nodes = max_nodes
+        self.use_break = use_break
+        self.name = name
+        self.builder = ProgramBuilder(ctx, name=name)
+        queue_slots = max(512, max_nodes * 8)
+        self.lane = self.builder.adopt_client_queue(
+            conn.server_qps[0], name=f"{name}-resp")
+        if use_break:
+            # Break chains are one-shot: a hit strands the unexecuted
+            # tail, so each request gets fresh worker/branch/control
+            # queues (the CPU re-posting of §3.4) and the strands are
+            # simply abandoned. Queues are created per instance.
+            self.worker = None
+            self.control = None
+            self.branches = None
+        else:
+            self.worker = self.builder.worker_queue(
+                slots=queue_slots, name=f"{name}-w")
+            self.control = self.builder.control_queue(
+                slots=queue_slots, name=f"{name}-ctl")
+            self.branches = None
+        # One compare-word cell per program; the RECV injects x here and
+        # per-iteration WRITEs fan it out to the CAS operands (Fig 12 R2).
+        self.xbuf, self.xbuf_mr = ctx.alloc_registered(
+            8, label=f"{name}-xbuf")
+        # Dead-end sink for the final iteration's next-pointer scatter.
+        self.sink, _ = ctx.alloc_registered(8, label=f"{name}-sink")
+        self.instances: List[_Instance] = []
+        self.instances_posted = 0
+        # Gates killed by break WRITEs never signal; later instances'
+        # lane thresholds discount them (updated in finish_request).
+        self._lane_killed = 0
+
+    # -- instance posting ---------------------------------------------------
+
+    def post_instances(self, count: int) -> None:
+        for _ in range(count):
+            if self.use_break:
+                self._post_break_instance()
+            else:
+                self._post_plain_instance()
+
+    def _response_template(self, tag: str, signaled: bool) -> WrRef:
+        live = wr_write_imm(0, 0, self.conn.response_addr,
+                            self.conn.response_rkey,
+                            immediate=self.instances_posted,
+                            signaled=signaled)
+        return self.builder.template(self.lane, live, tag=tag)
+
+    def _emit_read(self, worker, sges: List[Sge], tag: str) -> WrRef:
+        return self.builder.emit(
+            worker,
+            wr_read(0, _NODE_READ_LEN, 0, self.data_mr.rkey,
+                    signaled=False, sges=sges),
+            tag=tag)
+
+    def _emit_prep(self, worker, tag: str) -> WrRef:
+        """Fig 12's R2: copy the compare word into a CAS operand."""
+        return self.builder.emit(
+            worker,
+            wr_write(self.xbuf.addr, 8, 0, worker.rkey,
+                     signaled=False),
+            tag=tag)
+
+    def _chain_next_pointers(self, reads: List[WrRef],
+                             next_sge_index: int) -> None:
+        """Aim each READ's `next`-pointer scatter at the next READ."""
+        for step in range(len(reads) - 1):
+            reads[step].poke_sge(
+                next_sge_index, reads[step + 1].field_addr("raddr"))
+
+    def _post_trigger_recv(self, first_read: WrRef) -> None:
+        sges = [Sge(self.xbuf.addr, 8),
+                Sge(first_read.field_addr("raddr"), 8)]
+        self.conn.server_qp.post_recv(wr_recv(sges=sges))
+
+    # -- plain variant ----------------------------------------------------------
+
+    def _post_plain_instance(self) -> None:
+        builder = self.builder
+        instance_id = self.instances_posted
+        self.instances_posted += 1
+        tag = f"trav{instance_id}"
+        record = _Instance()
+
+        builder.wait(self.control, self.conn.server_qp.recv_wq.cq,
+                     instance_id + 1, tag=f"{tag}.trigger")
+
+        responses = [self._response_template(f"{tag}.s{s}.resp",
+                                             signaled=False)
+                     for s in range(self.max_nodes)]
+        for step in range(self.max_nodes):
+            read = self._emit_read(
+                self.worker,
+                [Sge(responses[step].slot_addr + 2, _PATCH_LEN),
+                 Sge(self.sink.addr, 8)],
+                tag=f"{tag}.s{step}.read")
+            record.reads.append(read)
+            prep = self._emit_prep(self.worker, f"{tag}.s{step}.prep")
+            refs = builder.emit_if(self.control, self.worker,
+                                   responses[step], compare_id=None,
+                                   tag=f"{tag}.s{step}.if")
+            prep.poke("raddr", refs.cas.field_addr("operand0"))
+        self._chain_next_pointers(record.reads, next_sge_index=1)
+        self._post_trigger_recv(record.reads[0])
+        self.instances.append(record)
+
+    # -- break variant -------------------------------------------------------------
+
+    def _post_break_instance(self) -> None:
+        builder = self.builder
+        instance_id = self.instances_posted
+        self.instances_posted += 1
+        tag = f"trav{instance_id}"
+        record = _Instance()
+
+        # One-shot queues for this request; a hit strands their tails,
+        # which are simply never fetched again. Each step needs 4 ring
+        # slots: a 2-slot READ (3 SGEs), the prep WRITE, and the CAS.
+        worker = builder.worker_queue(slots=4 * self.max_nodes + 2,
+                                      name=f"{tag}-w")
+        branches = builder.worker_queue(slots=self.max_nodes + 1,
+                                        name=f"{tag}-b")
+        control = builder.control_queue(slots=8 * self.max_nodes + 2,
+                                        name=f"{tag}-ctl")
+        record.one_shot_queues = [worker, branches, control]
+
+        builder.wait(control, self.conn.server_qp.recv_wq.cq,
+                     instance_id + 1, tag=f"{tag}.trigger")
+
+        # Lane: per step, an (unsignaled) response followed by its gate.
+        # Gates are posted in bulk, so per-step WAIT thresholds are
+        # computed from this base (discounted by gates that break
+        # WRITEs killed), not cumulative bookkeeping.
+        lane_signal_base = self.lane.signaled_posted - self._lane_killed
+        responses, gates, images = [], [], []
+        for step in range(self.max_nodes):
+            response = self._response_template(f"{tag}.s{step}.resp",
+                                               signaled=False)
+            gate = builder.emit(self.lane, wr_noop(signaled=True),
+                                tag=f"{tag}.s{step}.gate")
+            responses.append(response)
+            gates.append(gate)
+            images.append(BreakImage(builder, response, gate,
+                                     tag=f"{tag}.s{step}.brk"))
+        record.gates = gates
+
+        for step in range(self.max_nodes):
+            image = images[step]
+            # Break WR first (on the branch queue) so the CAS can aim
+            # at its ctrl word; execution order is enforced by ENABLEs.
+            brk = image.emit_break_write(branches)
+            # READ: key -> break WQE id (the CAS predicate input);
+            # valptr+vlen -> image laddr/length (arming data);
+            # next -> next iteration's READ.
+            read = self._emit_read(
+                worker,
+                [Sge(brk.field_addr("id"), 6),
+                 Sge(image.image_addr + WQE_HEADER.field_offset("laddr"),
+                     _PATCH_LEN - 6),
+                 Sge(self.sink.addr, 8)],
+                tag=f"{tag}.s{step}.read")
+            record.reads.append(read)
+            prep = self._emit_prep(worker, f"{tag}.s{step}.prep")
+            refs = builder.emit_if(control, worker, brk,
+                                   compare_id=None,
+                                   tag=f"{tag}.s{step}.if")
+            prep.poke("raddr", refs.cas.field_addr("operand0"))
+            # Release the lane pair once the break WR retired; require
+            # the gate's completion before the next iteration — the
+            # starvation point of Fig 6.
+            builder.wait_signals(control, branches,
+                                 tag=f"{tag}.s{step}.wait-brk")
+            builder.enable(control, gates[step],
+                           tag=f"{tag}.s{step}.en-lane")
+            builder.wait(control, self.lane.cq,
+                         lane_signal_base + step + 1,
+                         tag=f"{tag}.s{step}.wait-gate")
+        self._chain_next_pointers(record.reads, next_sge_index=2)
+        record.last_lane_index = self.lane.wq.posted_count
+        self._post_trigger_recv(record.reads[0])
+        self.instances.append(record)
+
+    # -- break-variant host cleanup between requests -------------------------
+
+    def finish_request(self, instance_id: int) -> None:
+        """Host-side cleanup after a break-variant request completed.
+
+        A hit stops the chain mid-way: the one-shot worker/branch/
+        control queues are abandoned with their unexecuted tails (the
+        starved control WAIT simply never fires again). Only the
+        *shared* response lane needs care:
+
+        1. destroy the request's one-shot queues (ibv_destroy_qp-style
+           teardown), so nothing can ever revive the stranded tail;
+        2. defuse the leftover gates (clear SIGNALED), then release the
+           lane through this instance's end — leftover templates and
+           defused gates execute as silent NOOPs, advancing the shared
+           lane past this instance;
+        3. record every gate that will never signal (break-killed +
+           defused) so later instances compute reachable lane WAIT
+           thresholds.
+
+        This is exactly the per-request CPU involvement the paper
+        ascribes to unrolled loops (§3.4); the recycled variant avoids
+        it at the cost of Table 2's extra verbs.
+        """
+        if not self.use_break:
+            return
+        record = self.instances[instance_id]
+        for queue in record.one_shot_queues:
+            queue.wq.destroy()
+        lane_wq = self.lane.wq
+        for gate in record.gates:
+            not_executed = gate.wr_index >= lane_wq.fetched_count
+            if not_executed:
+                gate.poke("flags",
+                          gate.peek("flags") & ~WrFlags.SIGNALED)
+        self._lane_killed += sum(
+            1 for gate in record.gates
+            if not gate.peek("flags") & WrFlags.SIGNALED)
+        lane_wq.doorbell(record.last_lane_index)
+
+    # -- client helper ----------------------------------------------------------
+
+    def payload_for(self, key: int) -> bytes:
+        return list_get_payload(self.list.head, key)

@@ -1,0 +1,168 @@
+"""A hash-get server that runs forever with zero CPU (§3.4 + §5.6).
+
+The pre-posted instances of :class:`HashGetOffload` eventually run out:
+the CPU must keep posting. This module closes the loop with **WQ
+recycling** — one chain, posted once, that re-executes itself per
+request indefinitely:
+
+    ring (managed, exactly ring-sized, wraps forever):
+      WAIT   recv_cq >= k          (k bumped by an ADD below)
+      READ   bucket -> response WQE fields  (raddr injected by RECV)
+      CAS    arm the response on key match  (operand injected by RECV)
+      ENABLE lane +1               (release the response template)
+      WAIT   lane_cq >= k          (response retired, hit or miss)
+      READ   shadow -> response    (restore the disarmed template)
+      ADD    +1 to the recv WAIT's wqe_count   (monotonic counters!)
+      ADD    +1 to the lane WAIT's wqe_count
+      ENABLE recv ring +1          (re-arm the trigger RECV)
+      ENABLE self +ring            (wrap around: the unbounded loop)
+
+The response template lives alone in a **one-slot** client send ring
+and the trigger RECV alone in a ring sized exactly to its WQE, so the
+relative ENABLEs re-execute the same bytes every lap. After setup the
+host never touches anything again — kill the process (with a hull
+parent) and the NIC keeps answering, which is the §5.6 experiment in
+its strongest form.
+
+Requests must be serial (one in flight per chain), the natural shape
+for a closed-loop client.
+"""
+
+from __future__ import annotations
+
+from ..datastructs.cuckoo import CuckooTable
+from ..ibv.wr import (
+    wr_cas,
+    wr_enable,
+    wr_fetch_add,
+    wr_read,
+    wr_recv,
+    wr_wait,
+    wr_write_imm,
+)
+from ..memory.region import MemoryRegion
+from ..nic.wqe import Sge, WQE_SLOT_SIZE
+from ..redn.builder import ProgramBuilder
+from ..redn.constructs import WQE_COUNT_ADD_DELTA
+from ..redn.offload import OffloadConnection
+from ..redn.program import ProgramError, RednContext
+
+from .hash_lookup import hash_get_payload
+
+__all__ = ["RecycledHashGetOffload", "RECYCLED_CONN_KWARGS"]
+
+_PATCH_LEN = 18
+_RING_WRS = 10
+
+#: OffloadConnection sizing this offload requires: a one-slot send ring
+#: (the recycling response template) and a recv ring exactly one RECV
+#: WQE long (header + one SGE slot).
+RECYCLED_CONN_KWARGS = {"send_slots": 1, "recv_slots": 2,
+                        "managed_recv": True}
+
+
+class RecycledHashGetOffload:
+    """Single-bucket hash gets served by one self-recycling ring."""
+
+    def __init__(self, ctx: RednContext, table: CuckooTable,
+                 data_mr: MemoryRegion, conn: OffloadConnection,
+                 name: str = "recget"):
+        server_qp = conn.server_qp
+        if server_qp.send_wq.num_slots != 1:
+            raise ProgramError(
+                "recycled offload needs a 1-slot client send ring; "
+                "create the connection with RECYCLED_CONN_KWARGS")
+        if server_qp.recv_wq.num_slots != 2:
+            raise ProgramError(
+                "recycled offload needs a 2-slot recv ring")
+        if not server_qp.recv_wq.managed:
+            raise ProgramError(
+                "recycled offload needs a managed recv ring "
+                "(create the connection with RECYCLED_CONN_KWARGS)")
+        self.ctx = ctx
+        self.table = table
+        self.conn = conn
+        self.name = name
+        self.builder = ProgramBuilder(ctx, name=name)
+        builder = self.builder
+
+        lane = builder.adopt_client_queue(server_qp, name=f"{name}-lane")
+        worker = builder.worker_queue(slots=_RING_WRS,
+                                      name=f"{name}-ring")
+        self.lane, self.worker = lane, worker
+
+        # The one recycling response template (disarmed WRITE_IMM).
+        response = builder.template(
+            lane, wr_write_imm(0, 0, conn.response_addr,
+                               conn.response_rkey, immediate=0,
+                               signaled=True), tag=f"{name}.resp")
+        self.response = response
+
+        # Pristine template image for the per-lap restore.
+        shadow, shadow_mr = ctx.alloc_registered(
+            WQE_SLOT_SIZE, label=f"{name}-shadow")
+        ctx.memory.write(shadow.addr,
+                         response.snapshot_bytes(WQE_SLOT_SIZE))
+
+        recv_cq = server_qp.recv_wq.cq
+        wait_recv = builder.emit(worker, wr_wait(recv_cq.cq_num, 1),
+                                 tag=f"{name}.wait-recv")
+        read = builder.emit(
+            worker,
+            wr_read(response.slot_addr + 2, _PATCH_LEN, 0,
+                    data_mr.rkey, signaled=False),
+            tag=f"{name}.read")
+        cas = builder.emit(
+            worker,
+            wr_cas(response.field_addr("ctrl"), lane.rkey, compare=0,
+                   swap=ProgramBuilder.live_ctrl_for(response),
+                   signaled=False), tag=f"{name}.cas")
+        builder.emit(worker, wr_enable(lane.wq_num, 1, relative=True),
+                     tag=f"{name}.en-lane")
+        wait_lane = builder.emit(worker, wr_wait(lane.cq_num, 1),
+                                 tag=f"{name}.wait-lane")
+        builder.emit(
+            worker,
+            wr_read(response.slot_addr, WQE_SLOT_SIZE, shadow.addr,
+                    shadow_mr.rkey, signaled=False),
+            tag=f"{name}.restore")
+        builder.emit(
+            worker,
+            wr_fetch_add(wait_recv.field_addr("wqe_count"), worker.rkey,
+                         WQE_COUNT_ADD_DELTA(1), signaled=False),
+            tag=f"{name}.add-recv")
+        builder.emit(
+            worker,
+            wr_fetch_add(wait_lane.field_addr("wqe_count"), worker.rkey,
+                         WQE_COUNT_ADD_DELTA(1), signaled=False),
+            tag=f"{name}.add-lane")
+        builder.emit(
+            worker,
+            wr_enable(server_qp.recv_wq.wq_num, 1, relative=True),
+            tag=f"{name}.en-recv")
+        builder.emit(
+            worker, wr_enable(worker.wq_num, _RING_WRS, relative=True),
+            tag=f"{name}.wrap")
+        if worker.wq.posted_count != _RING_WRS:
+            raise ProgramError("recycled ring not exactly filled")
+
+        # The single recycling trigger RECV: compare word into the CAS
+        # operand, bucket address into the READ's raddr — same WQE (and
+        # the same two fields) every lap.
+        server_qp.post_recv(wr_recv(sges=[
+            Sge(cas.field_addr("operand0"), 8),
+            Sge(read.field_addr("raddr"), 8),
+        ]), ring_doorbell=True)   # managed ring: arm lap 1 explicitly
+
+    def start(self) -> None:
+        """The CPU's last action, ever: enable the first lap."""
+        self.worker.doorbell()
+
+    @property
+    def laps(self) -> int:
+        """Requests the ring has fully served so far."""
+        return self.worker.wq.fetched_count // _RING_WRS
+
+    def payload_for(self, key: int) -> bytes:
+        """Client request: [compare_word | bucket1_addr] (1 bucket)."""
+        return hash_get_payload(self.table, key, buckets=1)

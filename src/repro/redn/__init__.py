@@ -1,0 +1,18 @@
+"""RedN: self-modifying RDMA programs — the paper's contribution."""
+
+from .builder import ConstructCost, IfRefs, ProgramBuilder
+from .constructs import WQE_COUNT_ADD_DELTA, BreakImage, RecycledLoop
+from .program import ChainQueue, ProgramError, RednContext, WrRef
+
+__all__ = [
+    "BreakImage",
+    "ChainQueue",
+    "ConstructCost",
+    "IfRefs",
+    "ProgramBuilder",
+    "ProgramError",
+    "RecycledLoop",
+    "RednContext",
+    "WQE_COUNT_ADD_DELTA",
+    "WrRef",
+]

@@ -1,0 +1,256 @@
+"""RedN program plumbing: chain queues, WR handles, server context.
+
+A RedN program is not an AST — it is a set of *work queues filled with
+bytes*. The classes here manage exactly that:
+
+* :class:`RednContext` — the server-side environment (§3.5 "Offload
+  setup"): a protection domain, scratch allocations, and *code regions*
+  — WQ rings registered for RDMA so the program can modify itself.
+* :class:`ChainQueue` — one send queue used as chain storage, wrapped
+  with its loopback QP and its code-region MR. Worker queues are
+  *managed* (doorbell ordering, §3.1); control queues holding the
+  static WAIT/ENABLE skeleton are normal-mode (they are never
+  modified, so they may be prefetched).
+* :class:`WrRef` — a handle to one posted WR: its index, its slot
+  address, and per-field addresses. Field addresses are what the rest
+  of the program aims CAS/WRITE/READ-scatter operations at.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from ..memory.dram import Allocation, HostMemory
+from ..memory.region import AccessFlags, MemoryRegion, ProtectionDomain
+from ..nic.qp import QueuePair
+from ..nic.queue import CompletionQueue, WorkQueue
+from ..nic.rnic import RNIC
+from ..nic.wqe import WQE_SLOT_SIZE, Wqe, field_location
+from ..net.node import OsProcess
+
+__all__ = ["RednContext", "ChainQueue", "WrRef", "ProgramError"]
+
+
+class ProgramError(Exception):
+    """Malformed RedN program construction."""
+
+
+class WrRef:
+    """Handle to a posted WR inside a :class:`ChainQueue`."""
+
+    def __init__(self, queue: "ChainQueue", wr_index: int,
+                 slot_cursor: int, wqe: Wqe, tag: str = ""):
+        self.queue = queue
+        self.wr_index = wr_index
+        self.slot_cursor = slot_cursor
+        self.wqe = wqe          # the host-side template (setup-time copy)
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return (f"<WrRef {self.queue.name}[{self.wr_index}] "
+                f"op={self.wqe.opcode:#x} tag={self.tag}>")
+
+    @property
+    def slot_addr(self) -> int:
+        return self.queue.wq.slot_addr(self.slot_cursor)
+
+    def field_addr(self, field: str) -> int:
+        """Host address of one WQE field — a self-modification target."""
+        offset, _width = field_location(field)
+        return self.slot_addr + offset
+
+    def field_width(self, field: str) -> int:
+        return field_location(field)[1]
+
+    # -- setup-time host patching (the CPU preparing code, not the NIC) --
+
+    def poke(self, field: str, value: int) -> None:
+        offset, width = field_location(field)
+        self.queue.memory.write_uint(self.slot_addr + offset, value, width)
+
+    def peek(self, field: str) -> int:
+        offset, width = field_location(field)
+        return self.queue.memory.read_uint(self.slot_addr + offset, width)
+
+    def snapshot_bytes(self, length: Optional[int] = None) -> bytes:
+        """Current ring bytes of this WQE (template images for restores)."""
+        length = length if length is not None else WQE_SLOT_SIZE
+        return self.queue.memory.read(self.slot_addr, length)
+
+    # SGE entries live in follow-on slots: 4 per slot, 16 bytes each.
+
+    def sge_addr_location(self, index: int) -> int:
+        """Host address of scatter entry ``index``'s addr field."""
+        if index >= len(self.wqe.sges):
+            raise ProgramError(f"SGE {index} outside {self!r}")
+        slot = 1 + index // 4
+        return (self.queue.wq.slot_addr(self.slot_cursor + slot)
+                + (index % 4) * 16)
+
+    def poke_sge(self, index: int, addr: int,
+                 length: Optional[int] = None) -> None:
+        """Setup-time patch of one scatter entry (addr and optionally
+        length). The SGE count is fixed at post time — only targets may
+        be re-aimed, so ring slot geometry never changes."""
+        if index >= len(self.wqe.sges):
+            raise ProgramError(f"{self!r} has no SGE {index}")
+        location = self.sge_addr_location(index)
+        self.queue.memory.write_uint(location, addr, 8)
+        if length is not None:
+            self.queue.memory.write_uint(location + 8, length, 4)
+
+
+class ChainQueue:
+    """A send queue holding chain WRs, plus its code-region MR."""
+
+    def __init__(self, ctx: "RednContext", managed: bool, slots: int,
+                 name: str, qp: Optional[QueuePair] = None,
+                 port_index: int = 0):
+        self.ctx = ctx
+        self.name = name
+        self.managed = managed
+        if qp is None:
+            qp, peer = ctx.create_loopback_pair(
+                managed_send=managed, send_slots=slots, name=name,
+                port_index=port_index)
+            self._peer = peer
+        else:
+            self._peer = qp.peer
+        self.qp = qp
+        self.wq: WorkQueue = qp.send_wq
+        # Register the ring as a code region so chain verbs (running on
+        # loopback QPs in the same PD) may rewrite it.
+        self.code_mr: MemoryRegion = ctx.pd.register(
+            self.wq.ring, access=AccessFlags.ALL)
+        self.refs: List[WrRef] = []
+        #: Signaled completions expected on this queue's CQ after each
+        #: posted WR — the numbers WAIT thresholds are computed from.
+        self.signaled_posted = 0
+
+    def __repr__(self) -> str:
+        return f"<ChainQueue {self.name} wrs={len(self.refs)}>"
+
+    @property
+    def memory(self) -> HostMemory:
+        return self.ctx.memory
+
+    @property
+    def cq(self) -> CompletionQueue:
+        return self.wq.cq
+
+    @property
+    def wq_num(self) -> int:
+        return self.wq.wq_num
+
+    @property
+    def cq_num(self) -> int:
+        return self.cq.cq_num
+
+    @property
+    def rkey(self) -> int:
+        return self.code_mr.rkey
+
+    def post(self, wqe: Wqe, tag: str = "",
+             ring_doorbell: Optional[bool] = None) -> WrRef:
+        """Post a chain WR; managed queues default to no doorbell."""
+        slot_cursor = self.wq._post_slot_cursor
+        wr_index = self.wq.post(wqe, ring_doorbell=ring_doorbell)
+        ref = WrRef(self, wr_index, slot_cursor, wqe, tag=tag)
+        self.refs.append(ref)
+        if wqe.signaled:
+            self.signaled_posted += 1
+        return ref
+
+    def doorbell(self, up_to: Optional[int] = None) -> None:
+        self.wq.doorbell(up_to=up_to)
+
+
+class RednContext:
+    """Server-side RedN environment: PD, scratch, queues, data regions."""
+
+    _ids = itertools.count()
+
+    def __init__(self, nic: RNIC, pd: ProtectionDomain,
+                 process: Optional[OsProcess] = None,
+                 owner: Optional[str] = None, name: str = ""):
+        if not nic.model.supports_wait_enable:
+            # §6: Intel-class RNICs lack WAIT; a validity bit can mimic
+            # ENABLE but pre-posted chains cannot be client-triggered
+            # without another PCIe device ringing the doorbell. The
+            # paper leaves that workaround as future work; so do we.
+            raise ProgramError(
+                f"{nic.model.name} lacks WAIT/ENABLE cross-channel "
+                f"verbs; RedN programs require them (paper §4/§6)")
+        self.nic = nic
+        self.pd = pd
+        self.process = process
+        if owner is not None:
+            self.owner = owner
+        elif process is not None:
+            self.owner = process.owner_tag
+        else:
+            self.owner = "redn"
+        self.name = name or f"redn{next(self._ids)}"
+        self._queue_counter = itertools.count()
+
+    def __repr__(self) -> str:
+        return f"<RednContext {self.name} on {self.nic.name}>"
+
+    @property
+    def memory(self) -> HostMemory:
+        return self.nic.memory
+
+    @property
+    def sim(self):
+        return self.nic.sim
+
+    # -- resource creation -------------------------------------------------
+
+    def create_loopback_pair(self, **kwargs):
+        if self.process is not None:
+            return self.process.create_loopback_pair(self.pd, **kwargs)
+        kwargs.setdefault("owner", self.owner)
+        return self.nic.create_loopback_pair(self.pd, **kwargs)
+
+    def alloc(self, size: int, label: str = "") -> Allocation:
+        if self.process is not None:
+            return self.process.alloc(size, label=label)
+        return self.memory.alloc(size, owner=self.owner, label=label)
+
+    def register(self, allocation: Allocation,
+                 access: int = AccessFlags.ALL) -> MemoryRegion:
+        return self.pd.register(allocation, access=access)
+
+    def alloc_registered(self, size: int, label: str = "",
+                         access: int = AccessFlags.ALL):
+        allocation = self.alloc(size, label=label)
+        return allocation, self.register(allocation, access=access)
+
+    # -- queue factories ------------------------------------------------------
+
+    def control_queue(self, slots: int = 256, name: str = "",
+                      port_index: int = 0) -> ChainQueue:
+        """Normal-mode queue for the static WAIT/ENABLE skeleton."""
+        name = name or f"{self.name}-ctl{next(self._queue_counter)}"
+        return ChainQueue(self, managed=False, slots=slots, name=name,
+                          port_index=port_index)
+
+    def worker_queue(self, slots: int = 256, name: str = "",
+                     port_index: int = 0) -> ChainQueue:
+        """Managed (doorbell-ordered) queue for modifiable chain WRs."""
+        name = name or f"{self.name}-wrk{next(self._queue_counter)}"
+        return ChainQueue(self, managed=True, slots=slots, name=name,
+                          port_index=port_index)
+
+    def adopt_client_queue(self, qp: QueuePair, name: str = "") -> ChainQueue:
+        """Wrap a client-facing QP's managed send queue as chain storage.
+
+        Response templates live here: when a CAS flips one to a live
+        WRITE/WRITE_IMM, the payload flows over the client connection.
+        """
+        if not qp.send_wq.managed:
+            raise ProgramError(
+                "client-facing send queue must be managed for RedN use")
+        name = name or f"{self.name}-cli{next(self._queue_counter)}"
+        return ChainQueue(self, managed=True, slots=0, name=name, qp=qp)

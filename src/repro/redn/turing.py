@@ -1,0 +1,288 @@
+"""A Turing machine executing on the (simulated) RNIC — Appendix A.
+
+The construction is multiplication-free, in the spirit of Dolan's
+mov-only machine:
+
+* **symbols** are stored *pre-scaled* by the transition-entry stride
+  (32 bytes), both on the tape and in transition entries, so an entry
+  address is just ``state_row + symbol`` — one register add;
+* **states** are stored as *row base addresses* of their transition
+  table rows — no state-id arithmetic ever happens;
+* **head movement** is a FETCH_ADD of the entry's delta field (±8,
+  encoded as a wrapping u64, since RDMA ADD is modulo 2^64);
+* each **step** is a fixed chain of eleven mov-machine ops; the host's
+  only job is re-posting the chain and polling the halt register —
+  Appendix A.2's CPU-assisted unconditional jump. (The NIC-only loop
+  alternative is WQ recycling, demonstrated by
+  :class:`~repro.redn.constructs.RecycledLoop`.)
+
+Transition-entry layout (32 bytes, all u64):
+
+    +0   new symbol (pre-scaled)
+    +8   head delta (+8 / -8 / 0, two's complement u64)
+    +16  next state (row base address)
+    +24  reserved
+
+Register assignment:
+
+    r0  head   (tape cell address)
+    r1  state  (current row base address)
+    r2  sym    (scaled symbol scratch)
+    r3  entry  (transition entry address scratch)
+    r4  tmp    (loaded fields scratch)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..memory.layout import mask
+from .movmachine import AddConst, AddReg, MovImm, MovLoad, MovMachine, \
+    MovStore
+from .program import ProgramError, RednContext
+
+__all__ = ["TuringSpec", "Transition", "NicTuringMachine",
+           "run_reference", "BINARY_INCREMENT", "PARITY_MACHINE",
+           "BUSY_BEAVER_3"]
+
+_U64 = mask(64)
+_ENTRY_STRIDE = 32
+_CELL = 8
+
+R_HEAD, R_STATE, R_SYM, R_ENTRY, R_TMP = 0, 1, 2, 3, 4
+
+LEFT, RIGHT, STAY = -1, 1, 0
+
+
+@dataclass(frozen=True)
+class Transition:
+    """delta(state, symbol) -> (write, move, next_state)."""
+
+    write: str
+    move: int            # LEFT / RIGHT / STAY
+    next_state: str
+
+
+@dataclass(frozen=True)
+class TuringSpec:
+    """A classical single-tape Turing machine description."""
+
+    name: str
+    states: Tuple[str, ...]
+    symbols: Tuple[str, ...]          # symbols[0] is the blank
+    start: str
+    halt: str
+    transitions: Dict[Tuple[str, str], Transition]
+
+    def __post_init__(self):
+        if self.start not in self.states or self.halt not in self.states:
+            raise ValueError("start/halt must be listed states")
+        for (state, symbol), tr in self.transitions.items():
+            if state not in self.states or symbol not in self.symbols:
+                raise ValueError(f"bad transition key ({state},{symbol})")
+            if tr.write not in self.symbols:
+                raise ValueError(f"bad write symbol {tr.write}")
+            if tr.next_state not in self.states:
+                raise ValueError(f"bad next state {tr.next_state}")
+
+    @property
+    def blank(self) -> str:
+        return self.symbols[0]
+
+
+def run_reference(spec: TuringSpec, tape: Sequence[str],
+                  max_steps: int = 10_000,
+                  head: int = 0) -> Tuple[List[str], int, bool]:
+    """Pure-Python oracle: (final tape, steps, halted)."""
+    cells = list(tape)
+    state = spec.start
+    steps = 0
+    while state != spec.halt and steps < max_steps:
+        if head < 0:
+            cells.insert(0, spec.blank)
+            head = 0
+        while head >= len(cells):
+            cells.append(spec.blank)
+        key = (state, cells[head])
+        if key not in spec.transitions:
+            return cells, steps, False
+        tr = spec.transitions[key]
+        cells[head] = tr.write
+        head += tr.move
+        state = tr.next_state
+        steps += 1
+    return cells, steps, state == spec.halt
+
+
+class NicTuringMachine:
+    """The spec compiled into mov-machine memory + a step chain."""
+
+    def __init__(self, ctx: RednContext, spec: TuringSpec,
+                 tape_cells: int = 64, name: str = "tm"):
+        self.spec = spec
+        self.machine = MovMachine(ctx, num_registers=8, name=name)
+        self.tape_cells = tape_cells
+        machine = self.machine
+
+        self._symbol_scaled = {sym: index * _ENTRY_STRIDE
+                               for index, sym in enumerate(spec.symbols)}
+        self._scaled_symbol = {v: k for k, v in
+                               self._symbol_scaled.items()}
+
+        # Transition table: one row per state, one entry per symbol.
+        row_size = len(spec.symbols) * _ENTRY_STRIDE
+        self._rows: Dict[str, int] = {}
+        for state in spec.states:
+            self._rows[state] = machine.alloc_ram(row_size,
+                                                  f"row-{state}")
+        for state in spec.states:
+            for symbol in spec.symbols:
+                entry = self._rows[state] + self._symbol_scaled[symbol]
+                tr = spec.transitions.get((state, symbol))
+                if tr is None or state == spec.halt:
+                    # Self-loop in place: the machine idles once halted
+                    # (or stuck), which the host detects by state.
+                    machine.write_ram(entry + 0,
+                                      self._symbol_scaled[symbol])
+                    machine.write_ram(entry + 8, 0)
+                    machine.write_ram(entry + 16, self._rows[state])
+                else:
+                    machine.write_ram(
+                        entry + 0, self._symbol_scaled[tr.write])
+                    machine.write_ram(
+                        entry + 8, (tr.move * _CELL) & _U64)
+                    machine.write_ram(
+                        entry + 16, self._rows[tr.next_state])
+
+        # The tape. The head starts in the middle so LEFT moves work.
+        self.tape_base = machine.alloc_ram(tape_cells * _CELL, "tape")
+        self.head_start_cell = tape_cells // 4
+
+        self.steps_run = 0
+
+    # -- tape IO ----------------------------------------------------------------
+
+    def load_tape(self, symbols: Sequence[str]) -> None:
+        if len(symbols) > self.tape_cells - self.head_start_cell:
+            raise ProgramError("tape content too long")
+        machine = self.machine
+        blank = self._symbol_scaled[self.spec.blank]
+        for cell in range(self.tape_cells):
+            machine.write_ram(self.tape_base + cell * _CELL, blank)
+        for offset, symbol in enumerate(symbols):
+            machine.write_ram(
+                self.tape_base + (self.head_start_cell + offset) * _CELL,
+                self._symbol_scaled[symbol])
+        machine.write_reg(R_HEAD, self.tape_base
+                          + self.head_start_cell * _CELL)
+        machine.write_reg(R_STATE, self._rows[self.spec.start])
+
+    def read_tape(self, start: int, count: int) -> List[str]:
+        """Symbols at cells [head_start+start, ...+count)."""
+        result = []
+        for offset in range(start, start + count):
+            cell = self.head_start_cell + offset
+            value = self.machine.read_ram(self.tape_base + cell * _CELL)
+            result.append(self._scaled_symbol[value])
+        return result
+
+    @property
+    def current_state(self) -> str:
+        row = self.machine.read_reg(R_STATE)
+        for state, addr in self._rows.items():
+            if addr == row:
+                return state
+        raise ProgramError(f"state register holds unknown row {row:#x}")
+
+    @property
+    def halted(self) -> bool:
+        return self.current_state == self.spec.halt
+
+    # -- the step chain ------------------------------------------------------------
+
+    def step_ops(self) -> List:
+        """One TM step as eleven mov-machine ops (all NIC-executed)."""
+        return [
+            MovLoad(R_SYM, R_HEAD),       # sym    = [head]
+            MovImm(R_ENTRY, 0),           # entry  = 0
+            AddReg(R_ENTRY, R_STATE),     # entry += state-row
+            AddReg(R_ENTRY, R_SYM),       # entry += scaled symbol
+            MovLoad(R_TMP, R_ENTRY),      # tmp    = new symbol
+            MovStore(R_HEAD, R_TMP),      # [head] = tmp
+            AddConst(R_ENTRY, 8),
+            MovLoad(R_TMP, R_ENTRY),      # tmp    = head delta
+            AddReg(R_HEAD, R_TMP),        # head  += delta
+            AddConst(R_ENTRY, 8),
+            MovLoad(R_STATE, R_ENTRY),    # state  = next row
+        ]
+
+    def run(self, max_steps: int = 500) -> Generator:
+        """Drive the machine until halt (or the step budget).
+
+        A simulation process: yields while the NIC executes each step
+        chain. Returns the number of steps taken.
+        """
+        steps = 0
+        while not self.halted and steps < max_steps:
+            yield from self.machine.execute(self.step_ops())
+            steps += 1
+        self.steps_run += steps
+        return steps
+
+
+def _spec(name, states, symbols, start, halt, table) -> TuringSpec:
+    transitions = {
+        (state, symbol): Transition(*value)
+        for (state, symbol), value in table.items()
+    }
+    return TuringSpec(name, tuple(states), tuple(symbols), start, halt,
+                      transitions)
+
+
+#: Increment a binary number (head at the least-significant bit,
+#: number laid out LSB-first so carries move RIGHT).
+BINARY_INCREMENT = _spec(
+    "binary-increment",
+    states=("carry", "done"),
+    symbols=("_", "0", "1"),
+    start="carry", halt="done",
+    table={
+        ("carry", "0"): ("1", STAY, "done"),
+        ("carry", "1"): ("0", RIGHT, "carry"),
+        ("carry", "_"): ("1", STAY, "done"),
+    },
+)
+
+#: Replace a bit string by its parity (scans right, tracks parity).
+PARITY_MACHINE = _spec(
+    "parity",
+    states=("even", "odd", "done"),
+    symbols=("_", "0", "1", "E", "O"),
+    start="even", halt="done",
+    table={
+        ("even", "0"): ("_", RIGHT, "even"),
+        ("even", "1"): ("_", RIGHT, "odd"),
+        ("odd", "0"): ("_", RIGHT, "odd"),
+        ("odd", "1"): ("_", RIGHT, "even"),
+        ("even", "_"): ("E", STAY, "done"),
+        ("odd", "_"): ("O", STAY, "done"),
+    },
+)
+
+#: The 3-state, 2-symbol busy beaver (writes six 1s in 14 steps) —
+#: a classic non-trivial workload with both head directions.
+BUSY_BEAVER_3 = _spec(
+    "busy-beaver-3",
+    states=("A", "B", "C", "H"),
+    symbols=("_", "1"),
+    start="A", halt="H",
+    table={
+        ("A", "_"): ("1", RIGHT, "B"),
+        ("A", "1"): ("1", LEFT, "C"),
+        ("B", "_"): ("1", LEFT, "A"),
+        ("B", "1"): ("1", RIGHT, "B"),
+        ("C", "_"): ("1", LEFT, "B"),
+        ("C", "1"): ("1", STAY, "H"),
+    },
+)

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel (substrate for all device models)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .rand import DEFAULT_SEED, SeededStreams
+from .resources import Resource, Store, TokenBucket
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "DEFAULT_SEED",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SeededStreams",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TokenBucket",
+]

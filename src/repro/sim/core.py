@@ -1,0 +1,350 @@
+"""Discrete-event simulation kernel.
+
+Every component of the RedN reproduction — RNIC processing units, PCIe
+transactions, network links, host CPU threads — is modelled as a *process*:
+a Python generator driven by a :class:`Simulator`. Processes advance
+simulated time by yielding waitables:
+
+* :class:`Timeout` — resume after a fixed delay,
+* :class:`Event` — resume when some other process triggers the event,
+* another :class:`Process` — resume when that process finishes,
+* :class:`AnyOf` / :class:`AllOf` — compositions of the above.
+
+Time is measured in **integer nanoseconds**. Using integers keeps event
+ordering exact and runs deterministic: two simulations with the same seed
+produce identical traces, which the test suite relies on heavily.
+
+The kernel is intentionally small (a binary-heap event loop plus a
+coroutine driver) and has no external dependencies. It is loosely shaped
+after SimPy's API so that readers familiar with SimPy can follow the
+device models, but it is implemented from scratch for this project.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level misuse (e.g. re-triggering an event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries an arbitrary payload supplied by the
+    interrupter (for example, a preemption notice from the CPU scheduler).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *untriggered*. Calling :meth:`trigger` (or
+    :meth:`fail`) moves it to the triggered state and schedules every
+    waiting process to resume at the current simulation time. Triggering
+    twice is an error — events are strictly one-shot, mirroring RDMA
+    completion semantics where a completion fires exactly once.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event {self.name or id(self):x} {state}>"
+
+    @property
+    def ok(self) -> bool:
+        """True once the event triggered successfully (no exception)."""
+        return self.triggered and self.exception is None
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Mark the event as having happened, waking all waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        self.sim._queue_callbacks(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event as failed; waiters see ``exception`` raised."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} triggered twice")
+        self.triggered = True
+        self.exception = exception
+        self.sim._queue_callbacks(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event triggers.
+
+        If the event already triggered the callback is queued to run at
+        the current simulation time (not synchronously), preserving the
+        invariant that callbacks never run inside the caller's frame.
+        """
+        if self.triggered:
+            self.sim._schedule_callback(self, callback)
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers automatically after ``delay`` nanoseconds."""
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        sim.schedule_at(sim.now + int(delay), self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        if not self.triggered:
+            self.trigger(value)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf: completes based on a set of child events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.trigger([])
+            return
+        for event in self.events:
+            event.add_callback(self._child_done)
+
+    def _child_done(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _values(self) -> List[Any]:
+        return [e.value for e in self.events if e.triggered]
+
+
+class AnyOf(_Condition):
+    """Triggers when the first of its child events triggers."""
+
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.exception is not None:
+            self.fail(event.exception)
+        else:
+            self.trigger(event)
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered."""
+
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.exception is not None:
+            self.fail(event.exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.trigger(self._values())
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running generator, driven by the simulator.
+
+    A process *is* an event: it triggers (with the generator's return
+    value) when the generator finishes, so processes can wait on each
+    other simply by yielding the target process.
+    """
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = ""):
+        super().__init__(sim, name=name or getattr(generator, "__name__", ""))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off on the next kernel step at the current time.
+        sim.schedule_at(sim.now, self._resume, (None, None))
+
+    def __repr__(self) -> str:
+        state = "done" if self.triggered else "running"
+        return f"<Process {self.name} {state}>"
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op, mirroring the
+        convention that cancellation of completed work is harmless.
+        """
+        if self.triggered:
+            return
+        self.sim.schedule_at(self.sim.now, self._resume,
+                             (None, Interrupt(cause)))
+
+    def _resume(self, payload) -> None:
+        send_value, throw_exc = payload
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if throw_exc is not None:
+                target = self._generator.throw(throw_exc)
+            else:
+                target = self._generator.send(send_value)
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process {self.name} yielded {target!r}, not an Event")
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle its interrupt: treat as clean
+            # termination. This lets models kill worker loops without
+            # every loop needing a try/except.
+            self.trigger(None)
+            return
+        except Exception as exc:
+            # A crashed process fails its event (waiters see the
+            # exception) and is recorded so errors cannot pass silently.
+            self.fail(exc)
+            self.sim.failed_processes.append(self)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Event) -> None:
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if self._waiting_on is not event:
+            # A stale callback from an event we abandoned (e.g. after an
+            # interrupt re-targeted the process). Ignore it.
+            return
+        if event.exception is not None:
+            self._resume((None, event.exception))
+        else:
+            self._resume((event.value, None))
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of callbacks.
+
+    Determinism: ties in time are broken by insertion order (a
+    monotonically increasing sequence number), so runs are exactly
+    reproducible.
+    """
+
+    def __init__(self):
+        self.now: int = 0
+        self._heap: List = []
+        self._sequence = itertools.count()
+        self._processes_started = 0
+        #: Processes that died with an unhandled exception. Inspect (or
+        #: assert empty) in tests — failures never crash the kernel.
+        self.failed_processes: List["Process"] = []
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule_at(self, time: int, callback: Callable, payload: Any) -> None:
+        """Run ``callback(payload)`` at simulated ``time`` (ns)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now {self.now}")
+        heapq.heappush(self._heap, (int(time), next(self._sequence),
+                                    callback, payload))
+
+    def _queue_callbacks(self, event: Event) -> None:
+        callbacks, event._callbacks = event._callbacks, []
+        for callback in callbacks:
+            self.schedule_at(self.now, callback, event)
+
+    def _schedule_callback(self, event: Event, callback: Callable) -> None:
+        self.schedule_at(self.now, callback, event)
+
+    # -- factories -------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        self._processes_started += 1
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute the earliest pending callback, advancing time."""
+        time, _seq, callback, payload = heapq.heappop(self._heap)
+        self.now = time
+        callback(payload)
+
+    def run(self, until: Optional[int] = None,
+            max_events: int = 100_000_000) -> int:
+        """Run until the heap drains or simulated time passes ``until``.
+
+        Returns the simulation time at exit. ``max_events`` guards
+        against accidental non-termination in tests (RedN programs are,
+        after all, Turing complete).
+        """
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                break
+            if executed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={self.now}")
+            self.step()
+            executed += 1
+        return self.now
+
+    def run_process(self, generator: ProcessGenerator,
+                    until: Optional[int] = None) -> Any:
+        """Convenience: start a process, run to completion, return value."""
+        proc = self.process(generator)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError(f"{proc!r} did not finish by t={self.now}")
+        if proc.exception is not None:
+            raise proc.exception
+        return proc.value

@@ -1,0 +1,80 @@
+"""Shared fixtures: simulation rigs used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ibv import VerbsContext
+from repro.memory import AccessFlags, HostMemory, ProtectionDomain
+from repro.net import Fabric
+from repro.nic import RNIC
+from repro.sim import Simulator
+
+
+class TwoNicRig:
+    """Two hosts' memories + NICs, back-to-back, with one QP pair."""
+
+    def __init__(self):
+        self.sim = Simulator()
+        self.mem_a = HostMemory(name="mem-a")
+        self.mem_b = HostMemory(name="mem-b")
+        self.nic_a = RNIC(self.sim, self.mem_a, name="nic-a")
+        self.nic_b = RNIC(self.sim, self.mem_b, name="nic-b")
+        self.fabric = Fabric(self.sim)
+        self.fabric.connect(self.nic_a, self.nic_b)
+        self.pd_a = ProtectionDomain(self.mem_a, name="pd-a")
+        self.pd_b = ProtectionDomain(self.mem_b, name="pd-b")
+        self.qp_a = self.nic_a.create_qp(self.pd_a, name="qp-a")
+        self.qp_b = self.nic_b.create_qp(self.pd_b, name="qp-b")
+        self.qp_a.connect(self.qp_b)
+        self.verbs = VerbsContext(self.sim, name="test-verbs")
+
+    def buffer(self, side: str, size: int, register: bool = True,
+               access: int = AccessFlags.ALL):
+        """Allocate (and optionally register) a buffer on one side."""
+        memory = self.mem_a if side == "a" else self.mem_b
+        pd = self.pd_a if side == "a" else self.pd_b
+        allocation = memory.alloc(size, label=f"buf-{side}")
+        region = pd.register(allocation, access=access) if register else None
+        return allocation, region
+
+    def run(self, generator, until=None):
+        """Drive a host process to completion and return its value."""
+        return self.sim.run_process(generator, until=until)
+
+
+class LoopbackRig:
+    """One NIC with a loopback QP pair — the RedN chain substrate."""
+
+    def __init__(self):
+        self.sim = Simulator()
+        self.memory = HostMemory(name="mem")
+        self.nic = RNIC(self.sim, self.memory, name="nic")
+        self.pd = ProtectionDomain(self.memory, name="pd")
+        self.qp_a, self.qp_b = self.nic.create_loopback_pair(self.pd)
+        self.verbs = VerbsContext(self.sim, name="lo-verbs")
+
+    def buffer(self, size: int, register: bool = True,
+               access: int = AccessFlags.ALL):
+        allocation = self.memory.alloc(size, label="lo-buf")
+        region = self.pd.register(allocation, access=access) \
+            if register else None
+        return allocation, region
+
+    def run(self, generator, until=None):
+        return self.sim.run_process(generator, until=until)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def rig():
+    return TwoNicRig()
+
+
+@pytest.fixture
+def lo():
+    return LoopbackRig()

@@ -1,0 +1,261 @@
+"""Integration tests: Memcached server, RPC baselines, one-sided KV."""
+
+import pytest
+
+from repro.apps import (
+    MemcachedServer,
+    OneSidedKvServer,
+    OP_GET,
+    OP_SET,
+    RpcServer,
+    STATUS_MISS,
+    STATUS_OK,
+    VMA_COSTS,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.bench import Testbed
+from repro.redn.offload import OffloadClient
+
+
+class TestProtocol:
+    def test_request_roundtrip(self):
+        frame = encode_request(OP_SET, 0x1234, b"hello", request_id=7)
+        op, key, value, rid = decode_request(frame)
+        assert (op, key, value, rid) == (OP_SET, 0x1234, b"hello", 7)
+
+    def test_response_roundtrip(self):
+        frame = encode_response(STATUS_OK, b"world", request_id=9)
+        status, value, rid = decode_response(frame)
+        assert (status, value, rid) == (STATUS_OK, b"world", 9)
+
+    def test_empty_value(self):
+        op, key, value, _ = decode_request(encode_request(OP_GET, 5))
+        assert value == b""
+
+    def test_oversized_key_rejected(self):
+        with pytest.raises(ValueError):
+            encode_request(OP_GET, 1 << 48)
+
+
+class TestMemcachedServer:
+    def test_set_get_delete(self):
+        bed = Testbed(num_clients=1)
+        store = MemcachedServer(bed.server)
+        store.set(1, b"one")
+        assert store.get(1) == b"one"
+        assert store.delete(1)
+        assert store.get(1) is None
+
+    def test_hull_parent_owns_resources(self):
+        bed = Testbed(num_clients=1)
+        store = MemcachedServer(bed.server, hull_parent=True)
+        assert store.rdma_resources_alive
+        store.crash()
+        # Child died; resources survive with the hull (§5.6).
+        assert not store.process.alive
+        assert store.rdma_resources_alive
+
+    def test_no_hull_resources_die_with_process(self):
+        bed = Testbed(num_clients=1)
+        store = MemcachedServer(bed.server, hull_parent=False)
+        store.crash()
+        assert not store.rdma_resources_alive
+
+
+class TestRpcServer:
+    def make(self, mode="polling", costs=None, workers=2):
+        bed = Testbed(num_clients=1)
+        store = MemcachedServer(bed.server)
+        kwargs = {"mode": mode, "workers": workers}
+        if costs is not None:
+            kwargs["costs"] = costs
+        server = RpcServer(store, **kwargs)
+        client = server.connect(bed.clients[0].nic, bed.client_pd(0))
+        server.start()
+        return bed, store, server, client
+
+    def test_set_then_get(self):
+        bed, store, server, client = self.make()
+
+        def run():
+            status, _v, _l = yield from client.set(10, b"value-10")
+            assert status == STATUS_OK
+            status, value, _l = yield from client.get(10)
+            return status, value
+
+        status, value = bed.run(run())
+        assert status == STATUS_OK
+        assert value == b"value-10"
+
+    def test_get_miss(self):
+        bed, _store, _server, client = self.make()
+
+        def run():
+            return (yield from client.get(404))
+
+        status, value, _latency = bed.run(run())
+        assert status == STATUS_MISS
+        assert value == b""
+
+    def test_event_mode_slower_than_polling(self):
+        """Fig 10: event-based completion costs wake-ups per request."""
+        def latency(mode):
+            bed, store, _server, client = self.make(mode=mode)
+            store.set(5, b"x" * 64)
+
+            def run():
+                # warm-up
+                yield from client.get(5)
+                _s, _v, lat = yield from client.get(5)
+                return lat
+            return bed.run(run())
+
+        assert latency("event") > latency("polling")
+
+    def test_vma_costs_grow_with_value_size(self):
+        """Fig 14: sockets memcpys penalize large values."""
+        def latency(size):
+            bed, store, _server, client = self.make(costs=VMA_COSTS)
+            store.set(5, b"x" * size)
+
+            def run():
+                yield from client.get(5)
+                _s, _v, lat = yield from client.get(5)
+                return lat
+            return bed.run(run())
+
+        small, large = latency(64), latency(65536)
+        # Beyond wire-time scaling: 128 KB of copies at ~8 GB/s.
+        assert large - small > 10_000
+
+    def test_multiple_clients_served(self):
+        bed = Testbed(num_clients=2)
+        store = MemcachedServer(bed.server)
+        server = RpcServer(store, workers=2)
+        clients = [server.connect(bed.clients[i].nic, bed.client_pd(i))
+                   for i in range(2)]
+        server.start()
+        store.set(7, b"shared")
+
+        def run():
+            results = []
+            for client in clients:
+                status, value, _l = yield from client.get(7)
+                results.append((status, value))
+            return results
+
+        assert bed.run(run()) == [(STATUS_OK, b"shared")] * 2
+
+    def test_requests_queue_under_load(self):
+        """Many concurrent writers inflate get latency (Fig 15 shape)."""
+        bed = Testbed(num_clients=2)
+        store = MemcachedServer(bed.server)
+        server = RpcServer(store, workers=1)
+        reader = server.connect(bed.clients[0].nic, bed.client_pd(0))
+        writers = [server.connect(bed.clients[1].nic, bed.client_pd(1))
+                   for _ in range(4)]
+        server.start()
+        store.set(1, b"r")
+
+        def writer_loop(writer, base):
+            for index in range(30):
+                yield from writer.set(base + index, b"w" * 64)
+
+        def reader_probe():
+            # unloaded
+            yield from reader.get(1)
+            _s, _v, quiet = yield from reader.get(1)
+            procs = [bed.sim.process(writer_loop(writer, 1000 + 100 * i))
+                     for i, writer in enumerate(writers)]
+            yield bed.sim.timeout(20_000)   # let the queue build
+            _s, _v, busy = yield from reader.get(1)
+            for proc in procs:
+                if not proc.triggered:
+                    yield proc
+            return quiet, busy
+
+        quiet, busy = bed.run(reader_probe())
+        assert busy > quiet
+
+
+class TestOneSidedKv:
+    def test_get_hit_two_rtts(self):
+        bed = Testbed(num_clients=1)
+        server = OneSidedKvServer(bed.server)
+        server.set(42, b"one-sided-value")
+        client = server.connect(bed.clients[0].nic, bed.client_pd(0))
+
+        def run():
+            return (yield from client.get(42))
+
+        value, latency, rtts = bed.run(run())
+        assert value == b"one-sided-value"
+        assert rtts == 2
+        # Two dependent ~1.8us READs plus client software time.
+        assert latency > 3_000
+
+    def test_get_miss_one_rtt(self):
+        bed = Testbed(num_clients=1)
+        server = OneSidedKvServer(bed.server)
+        client = server.connect(bed.clients[0].nic, bed.client_pd(0))
+
+        def run():
+            return (yield from client.get(99))
+
+        value, _latency, rtts = bed.run(run())
+        assert value is None
+        assert rtts == 1
+
+    def test_neighborhood_read_size_matches_h6(self):
+        """FaRM's 6x metadata overhead: READ #1 spans 6 buckets."""
+        from repro.datastructs.records import BUCKET_SIZE
+        bed = Testbed(num_clients=1)
+        server = OneSidedKvServer(bed.server)
+        server.set(1, b"v")
+        _addr, length = server.table.neighborhood_read_args(1)
+        assert length == 6 * BUCKET_SIZE
+
+
+class TestOffloadIntegration:
+    def test_memcached_get_offload(self):
+        """The §5.4 integration: NIC-served gets against live data."""
+        bed = Testbed(num_clients=1)
+        store = MemcachedServer(bed.server)
+        store.set(11, b"offloaded-value")
+        offload, conn = store.attach_get_offload(
+            bed.clients[0].nic, bed.client_pd(0))
+        offload.post_instances(2)
+        client = OffloadClient(conn, bed.client_verbs(0))
+
+        def run():
+            result = yield from client.call(offload.payload_for(11))
+            return result
+
+        result = bed.run(run())
+        assert result.ok
+        assert result.data == b"offloaded-value"
+
+    def test_offload_sees_subsequent_sets(self):
+        """Host-side sets are immediately visible to NIC gets: the
+        table bytes are shared, not copied."""
+        bed = Testbed(num_clients=1)
+        store = MemcachedServer(bed.server)
+        offload, conn = store.attach_get_offload(
+            bed.clients[0].nic, bed.client_pd(0))
+        offload.post_instances(2)
+        client = OffloadClient(conn, bed.client_verbs(0))
+
+        def run():
+            first = yield from client.call(offload.payload_for(77),
+                                           timeout_ns=500_000)
+            store.set(77, b"late-write")
+            second = yield from client.call(offload.payload_for(77))
+            return first, second
+
+        first, second = bed.run(run())
+        assert not first.ok           # not inserted yet
+        assert second.ok
+        assert second.data == b"late-write"

@@ -1,0 +1,278 @@
+"""Unit + property tests for RDMA-visible data structures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datastructs import (
+    BUCKET_RECORD,
+    BUCKET_SIZE,
+    CuckooTable,
+    HashTableError,
+    HopscotchTable,
+    KEY_MASK,
+    LinkedList,
+    LIST_NODE,
+    SlabStore,
+    check_key,
+    hash_key,
+)
+from repro.memory import HostMemory
+
+
+def make_memory():
+    return HostMemory(size=32 * 1024 * 1024)
+
+
+def make_slab(memory, size=4 * 1024 * 1024):
+    return SlabStore(memory, memory.alloc(size, label="slab"))
+
+
+def make_cuckoo(memory=None, buckets=256):
+    memory = memory or make_memory()
+    slab = make_slab(memory)
+    region = memory.alloc(buckets * BUCKET_SIZE, label="table")
+    return CuckooTable(memory, region, buckets, slab)
+
+
+class TestHashing:
+    def test_deterministic(self):
+        assert hash_key(42, 0) == hash_key(42, 0)
+
+    def test_two_functions_differ(self):
+        collisions = sum(
+            1 for key in range(1, 200)
+            if hash_key(key, 0) % 64 == hash_key(key, 1) % 64)
+        assert collisions < 20   # not systematically equal
+
+    def test_check_key_bounds(self):
+        with pytest.raises(ValueError):
+            check_key(0)
+        with pytest.raises(ValueError):
+            check_key(KEY_MASK + 1)
+        assert check_key(KEY_MASK) == KEY_MASK
+
+
+class TestSlab:
+    def test_store_and_fetch(self):
+        memory = make_memory()
+        slab = make_slab(memory)
+        addr, length = slab.store(b"hello")
+        assert slab.fetch(addr, length) == b"hello"
+
+    def test_free_reuses_chunk(self):
+        memory = make_memory()
+        slab = make_slab(memory)
+        addr, length = slab.store(b"x" * 100)
+        slab.free(addr, length)
+        addr2, _ = slab.store(b"y" * 100)
+        assert addr2 == addr
+
+    def test_oversize_value_rejected(self):
+        memory = make_memory()
+        slab = make_slab(memory)
+        with pytest.raises(Exception):
+            slab.store(b"z" * (1 << 20))
+
+    def test_distinct_classes_do_not_collide(self):
+        memory = make_memory()
+        slab = make_slab(memory)
+        small, _ = slab.store(b"a" * 10)
+        large, _ = slab.store(b"b" * 2000)
+        assert slab.fetch(small, 10) == b"a" * 10
+        assert slab.fetch(large, 2000) == b"b" * 2000
+
+
+class TestCuckoo:
+    def test_insert_lookup(self):
+        table = make_cuckoo()
+        table.insert(10, b"ten")
+        table.insert(20, b"twenty")
+        assert table.lookup(10) == b"ten"
+        assert table.lookup(20) == b"twenty"
+        assert table.lookup(30) is None
+
+    def test_update_replaces_value(self):
+        table = make_cuckoo()
+        table.insert(5, b"old")
+        table.insert(5, b"new")
+        assert table.lookup(5) == b"new"
+        assert table.count == 1
+
+    def test_delete(self):
+        table = make_cuckoo()
+        table.insert(7, b"v")
+        assert table.delete(7)
+        assert table.lookup(7) is None
+        assert not table.delete(7)
+
+    def test_key_always_in_candidate_bucket(self):
+        table = make_cuckoo(buckets=128)
+        for key in range(1, 60):
+            table.insert(key, str(key).encode())
+        for key in range(1, 60):
+            candidates = {table.bucket_index(key, 0),
+                          table.bucket_index(key, 1)}
+            record = None
+            for index in candidates:
+                raw = table.memory.read(table.bucket_addr(index),
+                                        BUCKET_SIZE)
+                fields = BUCKET_RECORD.unpack(raw)
+                if fields["key"] == key:
+                    record = fields
+            assert record is not None, f"key {key} not in its candidates"
+
+    def test_force_bucket_placement(self):
+        table = make_cuckoo()
+        index = table.insert(99, b"v", force_bucket=1)
+        assert index == table.bucket_index(99, 1)
+
+    def test_candidate_addrs_geometry(self):
+        table = make_cuckoo()
+        addrs = table.candidate_addrs(123)
+        assert len(addrs) == 2
+        for addr in addrs:
+            assert (addr - table.region.addr) % BUCKET_SIZE == 0
+
+    def test_bucket_bytes_are_big_endian(self):
+        """The §5.4 requirement: pointers stored big-endian so a READ
+        lands them directly into (big-endian) WQE fields."""
+        table = make_cuckoo()
+        index = table.insert(1, b"val")
+        raw = table.memory.read(table.bucket_addr(index), BUCKET_SIZE)
+        valptr = int.from_bytes(raw[6:14], "big")
+        vlen = int.from_bytes(raw[14:18], "big")
+        assert table.slab.fetch(valptr, vlen) == b"val"
+
+    def test_fill_to_moderate_load(self):
+        table = make_cuckoo(buckets=512)
+        for key in range(1, 256):   # 50% load
+            table.insert(key, b"v")
+        for key in range(1, 256):
+            assert table.lookup(key) == b"v"
+
+    @given(st.sets(st.integers(min_value=1, max_value=KEY_MASK),
+                   min_size=1, max_size=120))
+    @settings(max_examples=25, deadline=None)
+    def test_property_all_inserted_keys_found(self, keys):
+        table = make_cuckoo(buckets=512)
+        for key in keys:
+            table.insert(key, key.to_bytes(8, "big"))
+        for key in keys:
+            assert table.lookup(key) == key.to_bytes(8, "big")
+
+
+class TestHopscotch:
+    def make(self, buckets=256, neighborhood=6):
+        memory = make_memory()
+        slab = make_slab(memory)
+        region = memory.alloc(buckets * BUCKET_SIZE, label="hop")
+        return HopscotchTable(memory, region, buckets, slab,
+                              neighborhood=neighborhood)
+
+    def test_insert_lookup_delete(self):
+        table = self.make()
+        table.insert(11, b"a")
+        table.insert(22, b"b")
+        assert table.lookup(11) == b"a"
+        assert table.delete(11)
+        assert table.lookup(11) is None
+
+    def test_key_stays_in_neighborhood(self):
+        """The hopscotch invariant FaRM's one-sided READ relies on."""
+        table = self.make(buckets=128)
+        for key in range(1, 90):
+            table.insert(key, b"v")
+        for key in range(1, 90):
+            home = table.home_index(key)
+            found = False
+            for offset in range(table.neighborhood):
+                record = table._record((home + offset) % table.num_buckets)
+                if record["key"] == key:
+                    found = True
+            assert found, f"key {key} escaped its neighborhood"
+
+    def test_neighborhood_read_covers_key(self):
+        table = self.make()
+        for key in range(1, 40):
+            table.insert(key, str(key).encode())
+        for key in range(1, 40):
+            addr, length = table.neighborhood_read_args(key)
+            blob = table.memory.read(addr, length)
+            hit = HopscotchTable.scan_neighborhood(blob, key)
+            assert hit is not None
+            valptr, vlen = hit
+            assert table.slab.fetch(valptr, vlen) == str(key).encode()
+
+    def test_update_in_place(self):
+        table = self.make()
+        table.insert(3, b"one")
+        table.insert(3, b"two")
+        assert table.lookup(3) == b"two"
+        assert table.count == 1
+
+    @given(st.sets(st.integers(min_value=1, max_value=KEY_MASK),
+                   min_size=1, max_size=100))
+    @settings(max_examples=20, deadline=None)
+    def test_property_neighborhood_invariant(self, keys):
+        table = self.make(buckets=512)
+        for key in keys:
+            table.insert(key, b"v")
+        for key in keys:
+            addr, length = table.neighborhood_read_args(key)
+            blob = table.memory.read(addr, length)
+            assert HopscotchTable.scan_neighborhood(blob, key) is not None
+
+
+class TestLinkedList:
+    def make(self):
+        memory = make_memory()
+        slab = make_slab(memory)
+        region = memory.alloc(64 * 1024, label="nodes")
+        return LinkedList(memory, region, slab)
+
+    def test_append_and_find(self):
+        lst = self.make()
+        for key in (1, 2, 3):
+            lst.append(key, f"v{key}".encode())
+        assert lst.find(2) == b"v2"
+        assert lst.find(9) is None
+        assert lst.length == 3
+
+    def test_order_preserved(self):
+        lst = self.make()
+        keys = [5, 3, 8, 1]
+        for key in keys:
+            lst.append(key, b"x")
+        assert [record["key"] for _a, record in lst.nodes()] == keys
+
+    def test_position_of(self):
+        lst = self.make()
+        for key in (10, 20, 30):
+            lst.append(key, b"x")
+        assert lst.position_of(10) == 1
+        assert lst.position_of(30) == 3
+        assert lst.position_of(99) is None
+
+    def test_next_pointer_is_big_endian_at_offset_18(self):
+        """Fig 12's steering READ requires `next` at a fixed offset."""
+        lst = self.make()
+        first = lst.append(1, b"a")
+        second = lst.append(2, b"b")
+        raw = lst.memory.read(first, 32)
+        assert int.from_bytes(raw[18:26], "big") == second
+
+    def test_empty_list(self):
+        lst = self.make()
+        assert lst.find(1) is None
+        assert lst.nodes() == []
+
+    @given(st.lists(st.integers(min_value=1, max_value=KEY_MASK),
+                    unique=True, min_size=1, max_size=50))
+    @settings(max_examples=20, deadline=None)
+    def test_property_traversal_matches_appends(self, keys):
+        lst = self.make()
+        for key in keys:
+            lst.append(key, key.to_bytes(6, "big"))
+        assert [r["key"] for _a, r in lst.nodes()] == keys
+        for key in keys:
+            assert lst.find(key) == key.to_bytes(6, "big")

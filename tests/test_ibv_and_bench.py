@@ -1,0 +1,189 @@
+"""Unit tests: host verbs API, WR builders, bench utilities, models."""
+
+import pytest
+
+from repro.bench import (
+    LatencyRecorder,
+    Testbed,
+    percentile,
+    render_series,
+    render_table,
+    summarize,
+)
+from repro.ibv import (
+    VerbsContext,
+    VerbsError,
+    wr_calc,
+    wr_cas,
+    wr_enable,
+    wr_noop,
+    wr_recv,
+    wr_send,
+    wr_wait,
+    wr_write,
+)
+from repro.nic import (
+    ALL_MODELS,
+    CONNECTX3,
+    CONNECTX5,
+    CONNECTX6,
+    INTEL_E810,
+    Opcode,
+    WrFlags,
+)
+
+
+class TestWrBuilders:
+    def test_write_fields(self):
+        wqe = wr_write(0x10, 64, 0x20, 0x99, wr_id=5)
+        assert (wqe.opcode, wqe.laddr, wqe.length, wqe.raddr,
+                wqe.rkey, wqe.wr_id) == (Opcode.WRITE, 0x10, 64, 0x20,
+                                         0x99, 5)
+        assert wqe.signaled
+
+    def test_unsignaled_flag(self):
+        assert not wr_write(0, 8, 0, 0, signaled=False).signaled
+
+    def test_cas_operands(self):
+        wqe = wr_cas(0x30, 0x77, compare=1, swap=2, result_laddr=0x40)
+        assert (wqe.operand0, wqe.operand1, wqe.laddr) == (1, 2, 0x40)
+        assert wqe.length == 8
+
+    def test_calc_requires_calc_opcode(self):
+        with pytest.raises(ValueError):
+            wr_calc(Opcode.WRITE, 0, 0, 1)
+
+    def test_wait_enable_targets(self):
+        wait = wr_wait(7, 12)
+        assert (wait.target, wait.wqe_count) == (7, 12)
+        enable = wr_enable(9, 3, relative=True)
+        assert enable.flags & WrFlags.ENABLE_RELATIVE
+
+    def test_recv_scatter(self):
+        from repro.nic import Sge
+        wqe = wr_recv(sges=[Sge(1 << 12, 8), Sge(1 << 13, 16)])
+        assert len(wqe.sges) == 2
+
+
+class TestVerbsContext:
+    def test_execute_sync_checked_raises_on_error(self, rig):
+        src, _ = rig.buffer("a", 8)
+
+        def run():
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_write(src.addr, 8, 0x5000, 0xBAD))
+
+        proc = rig.sim.process(run())
+        rig.sim.run()
+        assert isinstance(proc.exception, VerbsError)
+
+    def test_poll_blocking_requires_cpu(self, rig):
+        verbs = VerbsContext(rig.sim, cpu=None)
+
+        def run():
+            yield from verbs.poll_blocking(rig.qp_a.send_wq.cq)
+
+        proc = rig.sim.process(run())
+        rig.sim.run()
+        assert isinstance(proc.exception, VerbsError)
+
+    def test_post_overhead_charged(self, rig):
+        def run():
+            start = rig.sim.now
+            yield from rig.verbs.post_send(rig.qp_a,
+                                           wr_noop(signaled=False))
+            return rig.sim.now - start
+
+        assert rig.run(run()) == rig.verbs.post_overhead_ns
+
+
+class TestStats:
+    def test_percentile_nearest_rank(self):
+        samples = list(range(1, 101))
+        assert percentile(samples, 0.50) == 50
+        assert percentile(samples, 0.99) == 99
+        assert percentile(samples, 1.0) == 100
+
+    def test_percentile_single_sample(self):
+        assert percentile([42], 0.99) == 42
+
+    def test_percentile_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_summarize(self):
+        stats = summarize([1000, 2000, 3000])
+        assert stats["count"] == 3
+        assert stats["avg"] == 2000
+        assert stats["min"] == 1000 and stats["max"] == 3000
+
+    def test_recorder_units(self):
+        recorder = LatencyRecorder("r")
+        for value in (1000, 2000, 3000):
+            recorder.record(value)
+        assert recorder.avg_us == 2.0
+        assert recorder.p50_us == 2.0
+        assert len(recorder) == 3
+
+
+class TestTables:
+    def test_render_table_aligns(self):
+        text = render_table(["a", "long-header"],
+                            [[1, 2], ["xx", "yyyy"]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "long-header" in lines[0]
+        assert len({len(line) for line in lines if line}) <= 3
+
+    def test_render_series(self):
+        text = render_series("s", [1, 2], [1.5, 2.5])
+        assert "1:1.50" in text and "2:2.50" in text
+
+
+class TestDeviceModels:
+    def test_generations_scale(self):
+        assert CONNECTX3.pus_per_port < CONNECTX5.pus_per_port \
+            < CONNECTX6.pus_per_port
+
+    def test_cx3_lacks_calc_verbs(self):
+        assert not CONNECTX3.supports_calc_verbs
+        assert CONNECTX5.supports_calc_verbs
+
+    def test_intel_lacks_wait_enable(self):
+        assert not INTEL_E810.supports_wait_enable
+
+    def test_redn_rejects_intel(self):
+        """§6: no WAIT equivalent -> RedN programs cannot deploy."""
+        from repro.memory import HostMemory, ProtectionDomain
+        from repro.nic import RNIC
+        from repro.redn import ProgramError, RednContext
+        from repro.sim import Simulator
+        sim = Simulator()
+        memory = HostMemory()
+        nic = RNIC(sim, memory, model=INTEL_E810)
+        with pytest.raises(ProgramError):
+            RednContext(nic, ProtectionDomain(memory))
+
+    def test_all_models_have_positive_occupancies(self):
+        for model in ALL_MODELS:
+            for occupancy in model.timing.pu_occupancy_ns.values():
+                assert occupancy >= 1
+
+
+class TestTestbed:
+    def test_topology(self):
+        bed = Testbed(num_clients=2)
+        assert bed.fabric.linked(bed.server.nic, bed.clients[0].nic)
+        assert bed.fabric.linked(bed.server.nic, bed.clients[1].nic)
+        assert not bed.fabric.linked(bed.clients[0].nic,
+                                     bed.clients[1].nic)
+
+    def test_seeded_streams_shared(self):
+        bed = Testbed(seed=7)
+        stream_a = bed.streams.stream("x")
+        stream_b = Testbed(seed=7).streams.stream("x")
+        assert [stream_a.random() for _ in range(3)] == \
+            [stream_b.random() for _ in range(3)]
+
+    def test_dual_port_server(self):
+        bed = Testbed(nic_ports=2)
+        assert len(bed.server.nic.ports) == 2

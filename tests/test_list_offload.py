@@ -1,0 +1,164 @@
+"""End-to-end tests: the Fig 12 list-traversal offload."""
+
+import pytest
+
+from repro.datastructs import LinkedList, SlabStore
+from repro.ibv import VerbsContext
+from repro.memory import HostMemory, ProtectionDomain
+from repro.net import Fabric
+from repro.nic import Opcode, RNIC
+from repro.offloads.list_traversal import (
+    ListTraversalOffload,
+    list_get_payload,
+)
+from repro.redn import RednContext
+from repro.redn.offload import OffloadClient, OffloadConnection
+from repro.sim import Simulator
+
+
+class ListRig:
+    def __init__(self, list_keys, use_break=False, max_nodes=None):
+        self.sim = Simulator()
+        self.server_mem = HostMemory(name="srv", size=64 * 1024 * 1024)
+        self.client_mem = HostMemory(name="cli")
+        self.server_nic = RNIC(self.sim, self.server_mem, name="snic")
+        self.client_nic = RNIC(self.sim, self.client_mem, name="cnic")
+        Fabric(self.sim).connect(self.server_nic, self.client_nic)
+        self.server_pd = ProtectionDomain(self.server_mem)
+        self.client_pd = ProtectionDomain(self.client_mem)
+        self.ctx = RednContext(self.server_nic, self.server_pd,
+                               owner="list-server")
+
+        slab_alloc = self.ctx.alloc(4 * 1024 * 1024, label="slab")
+        node_alloc = self.ctx.alloc(64 * 1024, label="nodes")
+        self.data_mr = self.server_pd.register(node_alloc)
+        self.slab = SlabStore(self.server_mem, slab_alloc)
+        self.list = LinkedList(self.server_mem, node_alloc, self.slab)
+        for key in list_keys:
+            self.list.append(key, f"value-{key}".encode())
+
+        self.conn = OffloadConnection(self.ctx, self.client_nic,
+                                      self.client_pd, name="lst")
+        self.offload = ListTraversalOffload(
+            self.ctx, self.list, self.data_mr, self.conn,
+            max_nodes=max_nodes or len(list_keys), use_break=use_break)
+        self.verbs = VerbsContext(self.sim, name="cli-verbs")
+        self.client = OffloadClient(self.conn, self.verbs)
+
+    def get(self, key, timeout_ns=3_000_000):
+        def run():
+            result = yield from self.client.call(
+                self.offload.payload_for(key), timeout_ns=timeout_ns)
+            return result
+        return self.sim.run_process(run())
+
+    def wr_count(self):
+        return self.server_nic.stats.get("total_wrs", 0)
+
+
+KEYS = [11, 22, 33, 44, 55, 66, 77, 88]
+
+
+class TestPlainTraversal:
+    def test_finds_first_element(self):
+        rig = ListRig(KEYS)
+        rig.offload.post_instances(1)
+        result = rig.get(11)
+        assert result.ok and result.data == b"value-11"
+
+    def test_finds_last_element(self):
+        rig = ListRig(KEYS)
+        rig.offload.post_instances(1)
+        result = rig.get(88)
+        assert result.ok and result.data == b"value-88"
+
+    def test_finds_middle_elements(self):
+        rig = ListRig(KEYS)
+        rig.offload.post_instances(len(KEYS))
+        for key in (22, 44, 66):
+            result = rig.get(key)
+            assert result.ok and result.data == f"value-{key}".encode()
+
+    def test_miss_times_out(self):
+        rig = ListRig(KEYS)
+        rig.offload.post_instances(1)
+        assert not rig.get(99).ok
+
+    def test_latency_grows_mildly_with_position(self):
+        """Without break the response fires at its iteration; deeper
+        keys cost more chained READs (Fig 13's upward slope)."""
+        first = ListRig(KEYS)
+        first.offload.post_instances(1)
+        lat_first = first.get(11).latency_ns
+        last = ListRig(KEYS)
+        last.offload.post_instances(1)
+        lat_last = last.get(88).latency_ns
+        assert lat_last > lat_first
+
+    def test_all_iterations_execute_without_break(self):
+        rig = ListRig(KEYS)
+        rig.offload.post_instances(1)
+        rig.get(11)
+        # Every step's READ ran even though the hit was at position 1.
+        assert rig.offload.worker.wq.fetched_count >= 3 * len(KEYS)
+
+
+class TestBreakTraversal:
+    def test_finds_each_position_serially(self):
+        rig = ListRig(KEYS, use_break=True)
+        for index, key in enumerate(KEYS):
+            rig.offload.post_instances(1)
+            result = rig.get(key)
+            assert result.ok, f"key {key}"
+            assert result.data == f"value-{key}".encode()
+            rig.offload.finish_request(index)
+
+    def test_break_stops_iterations_early(self):
+        """A hit at position 1 must stop the chain: far fewer worker
+        WRs execute than the plain variant's full unroll."""
+        rig = ListRig(KEYS, use_break=True)
+        rig.offload.post_instances(1)
+        result = rig.get(11)
+        assert result.ok
+        worker = next(q for q in rig.offload.builder.queues
+                      if q.name == "trav0-w")
+        # Only the first iteration's worker WRs ran; the tail is
+        # stranded, never fetched.
+        assert worker.wq.fetched_count <= 4
+
+    def test_break_uses_fewer_wrs_than_plain(self):
+        """Fig 13: without breaks >65% more WRs execute."""
+        def executed(use_break):
+            rig = ListRig(KEYS, use_break=use_break)
+            total = 0
+            for index, key in enumerate(KEYS[:4]):
+                rig.offload.post_instances(1)
+                before = rig.wr_count()
+                assert rig.get(key).ok
+                total += rig.wr_count() - before
+                if use_break:
+                    rig.offload.finish_request(index)
+            return total
+
+        with_break = executed(True)
+        without = executed(False)
+        assert without > with_break
+
+    def test_break_miss_runs_all_iterations_then_times_out(self):
+        rig = ListRig(KEYS, use_break=True)
+        rig.offload.post_instances(1)
+        assert not rig.get(99).ok
+        rig.offload.finish_request(0)
+        # No gate was killed on a miss.
+        rig.offload.post_instances(1)
+        assert rig.get(22).ok
+
+
+class TestPayload:
+    def test_payload_layout(self):
+        payload = list_get_payload(0xABCD, 0x42)
+        assert len(payload) == 16
+        from repro.nic import split_ctrl
+        word = int.from_bytes(payload[:8], "big")
+        assert split_ctrl(word) == (Opcode.NOOP, 0x42)
+        assert int.from_bytes(payload[8:], "big") == 0xABCD

@@ -1,0 +1,204 @@
+"""Unit tests for simulated DRAM, layouts, and registration."""
+
+import pytest
+
+from repro.memory import (
+    AccessFlags,
+    HostMemory,
+    MemoryError_,
+    ProtectionDomain,
+    ProtectionError,
+    Struct,
+    mask,
+    pack_uint,
+    unpack_uint,
+)
+
+
+class TestLayoutPrimitives:
+    def test_pack_unpack_roundtrip(self):
+        for width in (1, 2, 4, 6, 8):
+            value = (1 << (8 * width)) - 1
+            assert unpack_uint(pack_uint(value, width)) == value
+
+    def test_pack_is_big_endian(self):
+        assert pack_uint(0x0102, 2) == b"\x01\x02"
+
+    def test_pack_range_check(self):
+        with pytest.raises(ValueError):
+            pack_uint(256, 1)
+        with pytest.raises(ValueError):
+            pack_uint(-1, 4)
+
+    def test_mask(self):
+        assert mask(48) == 0xFFFFFFFFFFFF
+
+
+class TestStruct:
+    def test_pack_and_unpack(self):
+        record = Struct("r", 16, [("a", 0, 4), ("b", 4, 8), ("c", 12, 2)])
+        buf = record.pack(a=1, b=0xDEADBEEF, c=7)
+        assert record.unpack(buf) == {"a": 1, "b": 0xDEADBEEF, "c": 7}
+
+    def test_gaps_are_zero(self):
+        record = Struct("r", 8, [("a", 0, 2)])
+        buf = record.pack(a=0xFFFF)
+        assert bytes(buf[2:]) == bytes(6)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Struct("bad", 8, [("a", 0, 4), ("b", 2, 4)])
+
+    def test_field_past_end_rejected(self):
+        with pytest.raises(ValueError):
+            Struct("bad", 4, [("a", 0, 8)])
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            Struct("bad", 8, [("a", 0, 2), ("a", 2, 2)])
+
+    def test_field_offset_lookup(self):
+        record = Struct("r", 8, [("a", 0, 2), ("b", 4, 4)])
+        assert record.field_offset("b") == 4
+        assert record.field_width("b") == 4
+
+    def test_pack_into_existing_buffer(self):
+        record = Struct("r", 8, [("x", 0, 4)])
+        buf = bytearray(16)
+        record.pack_into(buf, 8, "x", 0xAABBCCDD)
+        assert buf[8:12] == b"\xaa\xbb\xcc\xdd"
+
+
+class TestHostMemory:
+    def test_alloc_read_write(self):
+        memory = HostMemory(size=1 << 20)
+        allocation = memory.alloc(64)
+        memory.write(allocation.addr, b"abc")
+        assert memory.read(allocation.addr, 3) == b"abc"
+
+    def test_alloc_alignment(self):
+        memory = HostMemory(size=1 << 20)
+        memory.alloc(3)
+        aligned = memory.alloc(64, align=64)
+        assert aligned.addr % 64 == 0
+
+    def test_null_region_is_protected(self):
+        memory = HostMemory(size=1 << 20)
+        with pytest.raises(MemoryError_):
+            memory.read(0, 8)
+
+    def test_out_of_memory(self):
+        memory = HostMemory(size=8192)
+        with pytest.raises(MemoryError_):
+            memory.alloc(1 << 20)
+
+    def test_u64_roundtrip_big_endian(self):
+        memory = HostMemory(size=1 << 20)
+        allocation = memory.alloc(8)
+        memory.write_u64(allocation.addr, 0x0102030405060708)
+        assert memory.read(allocation.addr, 8) == bytes(range(1, 9))
+        assert memory.read_u64(allocation.addr) == 0x0102030405060708
+
+    def test_cas_success_and_failure(self):
+        memory = HostMemory(size=1 << 20)
+        allocation = memory.alloc(8)
+        memory.write_u64(allocation.addr, 10)
+        assert memory.compare_and_swap_u64(allocation.addr, 10, 99) == 10
+        assert memory.read_u64(allocation.addr) == 99
+        assert memory.compare_and_swap_u64(allocation.addr, 10, 7) == 99
+        assert memory.read_u64(allocation.addr) == 99  # unchanged
+
+    def test_fetch_add_wraps(self):
+        memory = HostMemory(size=1 << 20)
+        allocation = memory.alloc(8)
+        memory.write_u64(allocation.addr, (1 << 64) - 1)
+        assert memory.fetch_add_u64(allocation.addr, 2) == (1 << 64) - 1
+        assert memory.read_u64(allocation.addr) == 1
+
+    def test_free_poisons(self):
+        memory = HostMemory(size=1 << 20)
+        allocation = memory.alloc(16)
+        memory.write(allocation.addr, b"\x00" * 16)
+        memory.free(allocation)
+        assert memory.read(allocation.addr, 16) == b"\xde" * 16
+
+    def test_double_free_rejected(self):
+        memory = HostMemory(size=1 << 20)
+        allocation = memory.alloc(16)
+        memory.free(allocation)
+        with pytest.raises(MemoryError_):
+            memory.free(allocation)
+
+    def test_owner_reclaim(self):
+        memory = HostMemory(size=1 << 20)
+        a1 = memory.alloc(16, owner="proc1")
+        a2 = memory.alloc(16, owner="proc2")
+        reclaimed = memory.reclaim_owner("proc1")
+        assert reclaimed == [a1]
+        assert a1.freed and not a2.freed
+
+    def test_ownership_transfer_shields_from_reclaim(self):
+        memory = HostMemory(size=1 << 20)
+        allocation = memory.alloc(16, owner="child")
+        memory.transfer_ownership(allocation, "hull-parent")
+        assert memory.reclaim_owner("child") == []
+        assert not allocation.freed
+
+
+class TestProtection:
+    def _pd(self):
+        memory = HostMemory(size=1 << 20)
+        return memory, ProtectionDomain(memory)
+
+    def test_register_and_validate(self):
+        memory, pd = self._pd()
+        allocation = memory.alloc(64)
+        region = pd.register(allocation)
+        found = pd.validate_remote(region.rkey, allocation.addr, 64,
+                                   AccessFlags.REMOTE_WRITE)
+        assert found is region
+
+    def test_unknown_rkey_rejected(self):
+        memory, pd = self._pd()
+        with pytest.raises(ProtectionError):
+            pd.lookup_rkey(0xBAD)
+
+    def test_out_of_bounds_rejected(self):
+        memory, pd = self._pd()
+        allocation = memory.alloc(64)
+        region = pd.register(allocation)
+        with pytest.raises(ProtectionError):
+            pd.validate_remote(region.rkey, allocation.addr + 32, 64,
+                               AccessFlags.REMOTE_READ)
+
+    def test_missing_permission_rejected(self):
+        memory, pd = self._pd()
+        allocation = memory.alloc(64)
+        region = pd.register(allocation, access=AccessFlags.REMOTE_READ)
+        with pytest.raises(ProtectionError):
+            pd.validate_remote(region.rkey, allocation.addr, 8,
+                               AccessFlags.REMOTE_WRITE)
+
+    def test_deregistered_region_rejected(self):
+        memory, pd = self._pd()
+        allocation = memory.alloc(64)
+        region = pd.register(allocation)
+        pd.deregister(region)
+        with pytest.raises(ProtectionError):
+            pd.validate_remote(region.rkey, allocation.addr, 8,
+                               AccessFlags.REMOTE_READ)
+
+    def test_freed_allocation_invalidates_region(self):
+        memory, pd = self._pd()
+        allocation = memory.alloc(64)
+        region = pd.register(allocation)
+        memory.free(allocation)
+        with pytest.raises(ProtectionError):
+            region.check(allocation.addr, 8, AccessFlags.REMOTE_READ)
+
+    def test_invalidate_all(self):
+        memory, pd = self._pd()
+        regions = [pd.register(memory.alloc(32)) for _ in range(3)]
+        pd.invalidate_all()
+        for region in regions:
+            assert region.invalidated

@@ -1,0 +1,137 @@
+"""Unit tests: workload generation and the timing model's knobs."""
+
+import pytest
+
+from repro.apps import ClosedLoopClient, WorkloadMix, populate
+from repro.nic import CONNECTX5_TIMING, Opcode
+from repro.sim import Simulator
+
+
+class TestWorkloadMix:
+    def test_pure_gets(self):
+        mix = WorkloadMix(1.0)
+        assert all(mix.next_is_get() for _ in range(50))
+
+    def test_pure_sets(self):
+        mix = WorkloadMix(0.0)
+        assert not any(mix.next_is_get() for _ in range(50))
+
+    def test_ratio_converges(self):
+        mix = WorkloadMix(0.75)
+        gets = sum(mix.next_is_get() for _ in range(1000))
+        assert 700 <= gets <= 800
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(1.5)
+
+
+class TestClosedLoopClient:
+    def _client(self, sim, latency_ns=1_000, ok=True, **kwargs):
+        def get_fn(key):
+            yield sim.timeout(latency_ns)
+            return ok
+
+        return ClosedLoopClient(sim, "c", [1, 2, 3], 64, get_fn,
+                                **kwargs)
+
+    def test_run_counts_ops_and_latency(self):
+        sim = Simulator()
+        client = self._client(sim, latency_ns=2_000)
+        sim.run_process(client.run(10))
+        assert client.operations == 10
+        assert len(client.get_latencies) == 10
+        assert client.get_latencies.avg_us == 2.0
+
+    def test_keys_cycle_sequentially(self):
+        sim = Simulator()
+        seen = []
+
+        def get_fn(key):
+            seen.append(key)
+            yield sim.timeout(10)
+            return True
+
+        client = ClosedLoopClient(sim, "c", [7, 8], 64, get_fn)
+        sim.run_process(client.run(5))
+        assert seen == [7, 8, 7, 8, 7]
+
+    def test_failures_counted(self):
+        sim = Simulator()
+        client = self._client(sim, ok=False)
+        sim.run_process(client.run(4))
+        assert client.failures == 4
+
+    def test_think_time_paces(self):
+        sim = Simulator()
+        client = self._client(sim, latency_ns=100,
+                              think_time_ns=10_000)
+        sim.run_process(client.run(5))
+        assert sim.now >= 5 * 10_100
+
+    def test_run_until_deadline(self):
+        sim = Simulator()
+        client = self._client(sim, latency_ns=1_000)
+        sim.run_process(client.run_until(10_500))
+        assert 10 <= client.operations <= 11
+
+    def test_mix_drives_sets(self):
+        sim = Simulator()
+        sets = []
+
+        def get_fn(key):
+            yield sim.timeout(10)
+            return True
+
+        def set_fn(key, value):
+            sets.append((key, len(value)))
+            yield sim.timeout(10)
+            return True
+
+        client = ClosedLoopClient(sim, "c", [1], 32, get_fn, set_fn,
+                                  mix=WorkloadMix(0.5))
+        sim.run_process(client.run(10))
+        assert len(sets) == 5
+        assert all(size == 32 for _k, size in sets)
+
+    def test_populate(self):
+        class Store:
+            def __init__(self):
+                self.data = {}
+
+            def set(self, key, value):
+                self.data[key] = value
+
+        store = Store()
+        populate(store, [1, 2], 16)
+        assert store.data[1] == bytes([1]) * 16
+
+
+class TestTimingModel:
+    def test_with_overrides_is_a_copy(self):
+        altered = CONNECTX5_TIMING.with_overrides(doorbell_ns=999)
+        assert altered.doorbell_ns == 999
+        assert CONNECTX5_TIMING.doorbell_ns != 999
+
+    def test_payload_costs_scale_linearly(self):
+        t = CONNECTX5_TIMING
+        assert t.payload_wire_ns(0) == 0
+        assert t.payload_wire_ns(65536) > 50 * t.payload_wire_ns(1024)
+        assert t.payload_pcie_ns(65536) == int(
+            65536 / t.pcie_bytes_per_ns)
+
+    def test_occupancy_lookup(self):
+        t = CONNECTX5_TIMING
+        assert t.occupancy(Opcode.WRITE) == 127
+        assert t.occupancy(Opcode.WAIT) == 20
+        assert t.occupancy(0xFFFF) > 0   # unknown verbs get a default
+
+    def test_atomic_unit_implies_table3_rate(self):
+        # 1 / atomic_unit_ns ~ 8.4 M CAS/s (Table 3's calibration).
+        rate = 1e9 / CONNECTX5_TIMING.atomic_unit_ns / 1e6
+        assert 8.0 <= rate <= 8.8
+
+    def test_wire_rate_is_ib_goodput(self):
+        # ~92 Gb/s effective (Table 4's single-port 64KB ceiling).
+        gbps = CONNECTX5_TIMING.wire_bytes_per_ns * 8
+        assert 85 <= gbps <= 100

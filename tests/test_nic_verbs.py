@@ -1,0 +1,359 @@
+"""Integration tests: verb data-path semantics through the full device."""
+
+import pytest
+
+from repro.ibv import (
+    wr_calc,
+    wr_cas,
+    wr_fetch_add,
+    wr_noop,
+    wr_read,
+    wr_recv,
+    wr_send,
+    wr_write,
+    wr_write_imm,
+)
+from repro.memory import AccessFlags
+from repro.nic import Opcode, Sge
+
+
+class TestWrite:
+    def test_write_moves_bytes(self, rig):
+        src, _ = rig.buffer("a", 64)
+        dst, dst_mr = rig.buffer("b", 64)
+        rig.mem_a.write(src.addr, b"payload!" * 8)
+
+        def run():
+            cqe = yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_write(src.addr, 64, dst.addr, dst_mr.rkey))
+            return cqe
+
+        cqe = rig.run(run())
+        assert cqe.byte_len == 64
+        assert rig.mem_b.read(dst.addr, 64) == b"payload!" * 8
+
+    def test_write_latency_matches_fig7(self, rig):
+        """Remote 64B WRITE ~1.6 us (Fig 7)."""
+        src, _ = rig.buffer("a", 64)
+        dst, dst_mr = rig.buffer("b", 64)
+
+        def run():
+            start = rig.sim.now
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_write(src.addr, 64, dst.addr, dst_mr.rkey))
+            return rig.sim.now - start
+
+        latency = rig.run(run()) - rig.verbs.post_overhead_ns
+        assert 1400 <= latency <= 1800
+
+    def test_write_wrong_rkey_fails(self, rig):
+        src, _ = rig.buffer("a", 64)
+        dst, dst_mr = rig.buffer("b", 64)
+
+        def run():
+            cqe = yield from rig.verbs.execute_sync(
+                rig.qp_a, wr_write(src.addr, 64, dst.addr, 0xBAD))
+            return cqe
+
+        cqe = rig.run(run())
+        assert cqe.status == "PROTECTION_ERROR"
+
+    def test_write_outside_region_fails(self, rig):
+        src, _ = rig.buffer("a", 64)
+        dst, dst_mr = rig.buffer("b", 64)
+
+        def run():
+            cqe = yield from rig.verbs.execute_sync(
+                rig.qp_a,
+                wr_write(src.addr, 64, dst.addr + 32, dst_mr.rkey))
+            return cqe
+
+        assert rig.run(run()).status == "PROTECTION_ERROR"
+
+    def test_write_needs_remote_write_permission(self, rig):
+        src, _ = rig.buffer("a", 64)
+        dst, dst_mr = rig.buffer("b", 64, access=AccessFlags.REMOTE_READ)
+
+        def run():
+            cqe = yield from rig.verbs.execute_sync(
+                rig.qp_a, wr_write(src.addr, 64, dst.addr, dst_mr.rkey))
+            return cqe
+
+        assert rig.run(run()).status == "PROTECTION_ERROR"
+
+
+class TestRead:
+    def test_read_fetches_remote_bytes(self, rig):
+        sink, _ = rig.buffer("a", 64)
+        src, src_mr = rig.buffer("b", 64)
+        rig.mem_b.write(src.addr, bytes(range(64)))
+
+        def run():
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_read(sink.addr, 64, src.addr, src_mr.rkey))
+
+        rig.run(run())
+        assert rig.mem_a.read(sink.addr, 64) == bytes(range(64))
+
+    def test_read_latency_matches_fig7(self, rig):
+        """Remote 64B READ ~1.8 us (Fig 7, non-posted PCIe)."""
+        sink, _ = rig.buffer("a", 64)
+        src, src_mr = rig.buffer("b", 64)
+
+        def run():
+            start = rig.sim.now
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_read(sink.addr, 64, src.addr, src_mr.rkey))
+            return rig.sim.now - start
+
+        latency = rig.run(run()) - rig.verbs.post_overhead_ns
+        assert 1600 <= latency <= 2000
+
+    def test_read_scatter_to_sges(self, rig):
+        """READ responses scatter across SGEs — Fig 12's steering tool."""
+        sink1, _ = rig.buffer("a", 16)
+        sink2, _ = rig.buffer("a", 16)
+        src, src_mr = rig.buffer("b", 24)
+        rig.mem_b.write(src.addr, b"A" * 16 + b"B" * 8)
+
+        def run():
+            wqe = wr_read(0, 24, src.addr, src_mr.rkey,
+                          sges=[Sge(sink1.addr, 16), Sge(sink2.addr, 8)])
+            yield from rig.verbs.execute_sync_checked(rig.qp_a, wqe)
+
+        rig.run(run())
+        assert rig.mem_a.read(sink1.addr, 16) == b"A" * 16
+        assert rig.mem_a.read(sink2.addr, 8) == b"B" * 8
+
+    def test_read_needs_remote_read_permission(self, rig):
+        sink, _ = rig.buffer("a", 8)
+        src, src_mr = rig.buffer("b", 8, access=AccessFlags.REMOTE_WRITE)
+
+        def run():
+            cqe = yield from rig.verbs.execute_sync(
+                rig.qp_a, wr_read(sink.addr, 8, src.addr, src_mr.rkey))
+            return cqe
+
+        assert rig.run(run()).status == "PROTECTION_ERROR"
+
+
+class TestAtomics:
+    def test_cas_success_swaps_and_returns_original(self, rig):
+        result, _ = rig.buffer("a", 8)
+        target, target_mr = rig.buffer("b", 8)
+        rig.mem_b.write_u64(target.addr, 111)
+
+        def run():
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_cas(target.addr, target_mr.rkey,
+                                 compare=111, swap=222,
+                                 result_laddr=result.addr))
+
+        rig.run(run())
+        assert rig.mem_b.read_u64(target.addr) == 222
+        assert rig.mem_a.read_u64(result.addr) == 111
+
+    def test_cas_mismatch_leaves_target(self, rig):
+        result, _ = rig.buffer("a", 8)
+        target, target_mr = rig.buffer("b", 8)
+        rig.mem_b.write_u64(target.addr, 111)
+
+        def run():
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_cas(target.addr, target_mr.rkey,
+                                 compare=999, swap=222,
+                                 result_laddr=result.addr))
+
+        rig.run(run())
+        assert rig.mem_b.read_u64(target.addr) == 111
+        assert rig.mem_a.read_u64(result.addr) == 111
+
+    def test_fetch_add(self, rig):
+        result, _ = rig.buffer("a", 8)
+        target, target_mr = rig.buffer("b", 8)
+        rig.mem_b.write_u64(target.addr, 40)
+
+        def run():
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_fetch_add(target.addr, target_mr.rkey, 2,
+                                       result_laddr=result.addr))
+
+        rig.run(run())
+        assert rig.mem_b.read_u64(target.addr) == 42
+        assert rig.mem_a.read_u64(result.addr) == 40
+
+    def test_atomic_needs_permission(self, rig):
+        target, target_mr = rig.buffer(
+            "b", 8, access=AccessFlags.REMOTE_WRITE)
+
+        def run():
+            cqe = yield from rig.verbs.execute_sync(
+                rig.qp_a, wr_cas(target.addr, target_mr.rkey, 0, 1))
+            return cqe
+
+        assert rig.run(run()).status == "PROTECTION_ERROR"
+
+    def test_atomic_latency_matches_fig7(self, rig):
+        target, target_mr = rig.buffer("b", 8)
+
+        def run():
+            start = rig.sim.now
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_cas(target.addr, target_mr.rkey, 0, 1))
+            return rig.sim.now - start
+
+        latency = rig.run(run()) - rig.verbs.post_overhead_ns
+        assert 1600 <= latency <= 2000
+
+
+class TestCalcVerbs:
+    def test_max_updates_when_larger(self, rig):
+        target, target_mr = rig.buffer("b", 8)
+        rig.mem_b.write_u64(target.addr, 10)
+
+        def run():
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_calc(Opcode.MAX, target.addr, target_mr.rkey,
+                                  operand=50))
+
+        rig.run(run())
+        assert rig.mem_b.read_u64(target.addr) == 50
+
+    def test_min_keeps_smaller(self, rig):
+        target, target_mr = rig.buffer("b", 8)
+        rig.mem_b.write_u64(target.addr, 10)
+
+        def run():
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_calc(Opcode.MIN, target.addr, target_mr.rkey,
+                                  operand=50))
+
+        rig.run(run())
+        assert rig.mem_b.read_u64(target.addr) == 10
+
+    def test_calc_rejected_on_non_mellanox(self, rig):
+        # Vendor-specific (§3.5): ConnectX-3 profile lacks calc verbs.
+        from repro.nic import CONNECTX3, RNIC
+        from repro.memory import HostMemory, ProtectionDomain
+
+        target, target_mr = rig.buffer("b", 8)
+        # Replace the responder NIC model flag via a fresh rig is heavy;
+        # instead verify the executor's guard directly.
+        rig.nic_b.model = CONNECTX3
+
+        def run():
+            cqe = yield from rig.verbs.execute_sync(
+                rig.qp_a, wr_calc(Opcode.MAX, target.addr, target_mr.rkey,
+                                  operand=1))
+            return cqe
+
+        assert rig.run(run()).status == "QUEUE_ERROR"
+
+
+class TestSendRecv:
+    def test_send_lands_in_recv_buffer(self, rig):
+        src, _ = rig.buffer("a", 32)
+        sink, _ = rig.buffer("b", 32)
+        rig.mem_a.write(src.addr, b"request-bytes" + bytes(19))
+        rig.qp_b.post_recv(wr_recv(sink.addr, 32, wr_id=9))
+
+        def run():
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_send(src.addr, 32))
+            cqe = yield from rig.verbs.poll(rig.qp_b.recv_wq.cq)
+            return cqe
+
+        cqe = rig.run(run())
+        assert cqe.wr_id == 9
+        assert cqe.byte_len == 32
+        assert rig.mem_b.read(sink.addr, 13) == b"request-bytes"
+
+    def test_send_scatters_across_sges(self, rig):
+        """The RedN trigger path: RECV SGEs inject arguments (Fig 3)."""
+        src, _ = rig.buffer("a", 24)
+        sink1, _ = rig.buffer("b", 8)
+        sink2, _ = rig.buffer("b", 16)
+        rig.mem_a.write(src.addr, b"11111111" + b"2" * 16)
+        rig.qp_b.post_recv(wr_recv(
+            sges=[Sge(sink1.addr, 8), Sge(sink2.addr, 16)]))
+
+        def run():
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_send(src.addr, 24))
+
+        rig.run(run())
+        assert rig.mem_b.read(sink1.addr, 8) == b"11111111"
+        assert rig.mem_b.read(sink2.addr, 16) == b"2" * 16
+
+    def test_send_blocks_until_recv_posted(self, rig):
+        src, _ = rig.buffer("a", 8)
+        sink, _ = rig.buffer("b", 8)
+
+        def sender():
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_send(src.addr, 8))
+            return rig.sim.now
+
+        def late_recv():
+            yield rig.sim.timeout(5000)
+            rig.qp_b.post_recv(wr_recv(sink.addr, 8))
+
+        rig.sim.process(late_recv())
+        finished_at = rig.run(sender())
+        assert finished_at >= 5000
+
+    def test_send_overflowing_recv_is_error(self, rig):
+        src, _ = rig.buffer("a", 64)
+        sink, _ = rig.buffer("b", 8)
+        rig.qp_b.post_recv(wr_recv(sink.addr, 8))
+
+        def run():
+            cqe = yield from rig.verbs.execute_sync(
+                rig.qp_a, wr_send(src.addr, 64))
+            return cqe
+
+        assert rig.run(run()).status == "QUEUE_ERROR"
+
+    def test_write_imm_consumes_recv_with_immediate(self, rig):
+        src, _ = rig.buffer("a", 16)
+        dst, dst_mr = rig.buffer("b", 16)
+        rig.mem_a.write(src.addr, b"imm-payload-1234")
+        rig.qp_b.post_recv(wr_recv(wr_id=5))
+
+        def run():
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_write_imm(src.addr, 16, dst.addr,
+                                       dst_mr.rkey, immediate=0xFACE))
+            cqe = yield from rig.verbs.poll(rig.qp_b.recv_wq.cq)
+            return cqe
+
+        cqe = rig.run(run())
+        assert cqe.immediate == 0xFACE
+        assert rig.mem_b.read(dst.addr, 16) == b"imm-payload-1234"
+
+
+class TestNoop:
+    def test_remote_noop_latency(self, rig):
+        """Remote NOOP ~1.21 us; loopback ~0.96 us (Fig 7)."""
+        def run():
+            start = rig.sim.now
+            yield from rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_noop(signaled=True))
+            return rig.sim.now - start
+
+        latency = rig.run(run()) - rig.verbs.post_overhead_ns
+        assert 1100 <= latency <= 1350
+
+    def test_loopback_noop_cheaper_by_network_rtt(self, rig, lo):
+        def measure(r, qp):
+            def run():
+                start = r.sim.now
+                yield from r.verbs.execute_sync_checked(
+                    qp, wr_noop(signaled=True))
+                return r.sim.now - start
+            return r.run(run())
+
+        remote = measure(rig, rig.qp_a)
+        local = measure(lo, lo.qp_a)
+        # Difference estimates the network RTT: ~0.25 us (Fig 7).
+        assert 200 <= remote - local <= 320

@@ -1,0 +1,114 @@
+"""Unit tests for the WQE byte format — the self-modification surface."""
+
+import pytest
+
+from repro.nic import (
+    MAX_SGE,
+    Opcode,
+    Sge,
+    WQE_HEADER,
+    WQE_SLOT_SIZE,
+    Wqe,
+    WrFlags,
+    ctrl_word,
+    field_location,
+    split_ctrl,
+    wqe_slots_needed,
+)
+
+
+class TestCtrlWord:
+    def test_pack_layout(self):
+        # opcode in the high 16 bits, 48-bit id below (Fig 4's trick).
+        word = ctrl_word(Opcode.WRITE, 0xABCDEF012345)
+        assert word == (Opcode.WRITE << 48) | 0xABCDEF012345
+
+    def test_split_roundtrip(self):
+        word = ctrl_word(Opcode.CAS, 42)
+        assert split_ctrl(word) == (Opcode.CAS, 42)
+
+    def test_id_limited_to_48_bits(self):
+        # The paper's Table 2 operand limit comes from here.
+        with pytest.raises(ValueError):
+            ctrl_word(Opcode.NOOP, 1 << 48)
+
+    def test_noop_with_zero_id_is_all_zero(self):
+        # Zero-filled ring memory must decode as harmless NOOPs.
+        assert ctrl_word(Opcode.NOOP, 0) == 0
+
+
+class TestFieldLayout:
+    def test_id_follows_opcode(self):
+        offset, width = field_location("id")
+        assert (offset, width) == (2, 6)
+
+    def test_laddr_adjacent_to_ctrl(self):
+        # A contiguous READ landing [key|ptr|len] must hit id, laddr,
+        # length back-to-back (Fig 9).
+        assert WQE_HEADER.field_offset("laddr") == 8
+        assert WQE_HEADER.field_offset("length") == 16
+
+    def test_bucket_record_alignment(self):
+        # 18-byte record written at base+2 covers exactly id+laddr+length.
+        id_off, id_w = field_location("id")
+        assert id_off == 2
+        assert id_w + 8 + 4 == 18
+        assert WQE_HEADER.field_offset("length") + 4 == 20
+
+    def test_wqe_count_field_addressable(self):
+        # WQ recycling ADDs must be able to aim at wqe_count (§3.4).
+        offset, width = field_location("wqe_count")
+        assert width == 4
+        assert offset + width <= WQE_SLOT_SIZE
+
+
+class TestCodec:
+    def test_roundtrip_simple(self):
+        wqe = Wqe(opcode=Opcode.WRITE, wr_id=7, laddr=0x1000, length=64,
+                  raddr=0x2000, flags=WrFlags.SIGNALED, lkey=3, rkey=9)
+        decoded = Wqe.decode(bytes(wqe.encode()))
+        for attr in ("opcode", "wr_id", "laddr", "length", "raddr",
+                     "flags", "lkey", "rkey"):
+            assert getattr(decoded, attr) == getattr(wqe, attr)
+
+    def test_roundtrip_atomic_operands(self):
+        wqe = Wqe(opcode=Opcode.CAS, raddr=0x3000, operand0=(1 << 63) | 5,
+                  operand1=0xFFFFFFFFFFFFFFFF)
+        decoded = Wqe.decode(bytes(wqe.encode()))
+        assert decoded.operand0 == wqe.operand0
+        assert decoded.operand1 == wqe.operand1
+
+    def test_roundtrip_ordering_fields(self):
+        wqe = Wqe(opcode=Opcode.WAIT, wqe_count=12345, target=7)
+        decoded = Wqe.decode(bytes(wqe.encode()))
+        assert decoded.wqe_count == 12345
+        assert decoded.target == 7
+
+    def test_sge_slots(self):
+        sges = [Sge(0x1000 + i * 64, 16, lkey=i) for i in range(5)]
+        wqe = Wqe(opcode=Opcode.RECV, sges=sges)
+        assert wqe.num_slots == 1 + 2  # 4 SGEs/slot -> 2 extra slots
+        decoded = Wqe.decode(bytes(wqe.encode()))
+        assert decoded.sges == sges
+
+    def test_max_sge_enforced(self):
+        # "RECVs can only perform 16 scatters" (§5.3).
+        sges = [Sge(0x1000, 8)] * (MAX_SGE + 1)
+        with pytest.raises(ValueError):
+            Wqe(opcode=Opcode.RECV, sges=sges)
+
+    def test_slots_needed(self):
+        assert wqe_slots_needed(0) == 1
+        assert wqe_slots_needed(1) == 2
+        assert wqe_slots_needed(4) == 2
+        assert wqe_slots_needed(5) == 3
+        assert wqe_slots_needed(16) == 5
+
+    def test_zero_bytes_decode_to_noop(self):
+        decoded = Wqe.decode(bytes(WQE_SLOT_SIZE))
+        assert decoded.opcode == Opcode.NOOP
+        assert not decoded.signaled
+
+    def test_signaled_property(self):
+        assert Wqe(flags=WrFlags.SIGNALED).signaled
+        assert not Wqe(flags=WrFlags.FENCE).signaled

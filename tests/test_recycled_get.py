@@ -1,0 +1,110 @@
+"""Tests: the fully CPU-free recycled hash-get server (§3.4 + §5.6)."""
+
+import pytest
+
+from repro.apps import MemcachedServer
+from repro.bench import Testbed
+from repro.offloads.recycled_get import (
+    RECYCLED_CONN_KWARGS,
+    RecycledHashGetOffload,
+)
+from repro.redn import ProgramError
+from repro.redn.offload import OffloadClient, OffloadConnection
+
+
+def make_rig(hull_parent=False):
+    bed = Testbed(num_clients=1)
+    store = MemcachedServer(bed.server, hull_parent=hull_parent)
+    conn = OffloadConnection(store.ctx, bed.clients[0].nic,
+                             bed.client_pd(0), name="rg",
+                             **RECYCLED_CONN_KWARGS)
+    offload = RecycledHashGetOffload(store.ctx, store.table,
+                                     store.table_mr, conn)
+    offload.start()
+    client = OffloadClient(conn, bed.client_verbs(0))
+    return bed, store, offload, client
+
+
+def serial_gets(bed, offload, client, keys, timeout_ns=3_000_000):
+    def run():
+        results = []
+        for key in keys:
+            result = yield from client.call(offload.payload_for(key),
+                                            timeout_ns=timeout_ns)
+            results.append(result)
+        return results
+    return bed.run(run())
+
+
+class TestRecycledGet:
+    def test_serves_one_request(self):
+        bed, store, offload, client = make_rig()
+        store.set(5, b"recycled-value", force_bucket=0)
+        [result] = serial_gets(bed, offload, client, [5])
+        assert result.ok and result.data == b"recycled-value"
+
+    def test_serves_many_more_requests_than_posted_wrs(self):
+        """The point of recycling: one posted chain, unbounded serving."""
+        bed, store, offload, client = make_rig()
+        keys = list(range(1, 31))
+        for key in keys:
+            store.set(key, f"v{key}".encode(), force_bucket=0)
+        results = serial_gets(bed, offload, client, keys)
+        for key, result in zip(keys, results):
+            assert result.ok, key
+            assert result.data == f"v{key}".encode()
+        assert offload.laps >= len(keys)
+        # Only 10 ring WRs were ever posted on the loop queue.
+        assert offload.worker.wq.posted_count == 10
+
+    def test_miss_then_hit_keeps_recycling(self):
+        bed, store, offload, client = make_rig()
+        store.set(7, b"present", force_bucket=0)
+        results = serial_gets(bed, offload, client, [99, 7, 98, 7],
+                              timeout_ns=1_000_000)
+        assert [r.ok for r in results] == [False, True, False, True]
+        assert results[1].data == b"present"
+
+    def test_sees_host_side_updates(self):
+        bed, store, offload, client = make_rig()
+        store.set(3, b"old", force_bucket=0)
+        [first] = serial_gets(bed, offload, client, [3])
+        store.set(3, b"new!")
+        [second] = serial_gets(bed, offload, client, [3])
+        assert first.data == b"old"
+        assert second.data == b"new!"
+
+    def test_survives_process_crash_with_hull(self):
+        """§5.6 in its strongest form: the chain keeps serving fresh
+        requests after the serving process died — no pre-posted
+        instances, pure NIC-side recycling."""
+        bed, store, offload, client = make_rig(hull_parent=True)
+        for key in range(1, 21):
+            store.set(key, f"v{key}".encode(), force_bucket=0)
+
+        before = serial_gets(bed, offload, client, [1, 2, 3])
+        assert all(r.ok for r in before)
+        store.crash()
+        after = serial_gets(bed, offload, client,
+                            list(range(4, 16)))
+        assert all(r.ok for r in after)
+        assert [r.data for r in after][:3] == [b"v4", b"v5", b"v6"]
+
+    def test_dies_without_hull(self):
+        bed, store, offload, client = make_rig(hull_parent=False)
+        store.set(1, b"x", force_bucket=0)
+        [ok] = serial_gets(bed, offload, client, [1])
+        assert ok.ok
+        store.crash()
+        [dead] = serial_gets(bed, offload, client, [1],
+                             timeout_ns=1_000_000)
+        assert not dead.ok
+
+    def test_wrongly_sized_connection_rejected(self):
+        bed = Testbed(num_clients=1)
+        store = MemcachedServer(bed.server)
+        conn = OffloadConnection(store.ctx, bed.clients[0].nic,
+                                 bed.client_pd(0), name="bad")
+        with pytest.raises(ProgramError):
+            RecycledHashGetOffload(store.ctx, store.table,
+                                   store.table_mr, conn)

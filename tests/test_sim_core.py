@@ -1,0 +1,352 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+    TokenBucket,
+)
+
+
+class TestEvents:
+    def test_timeout_advances_clock(self, sim):
+        def proc():
+            yield sim.timeout(100)
+            return sim.now
+
+        assert sim.run_process(proc()) == 100
+
+    def test_zero_timeout_is_legal(self, sim):
+        def proc():
+            yield sim.timeout(0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 0
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
+    def test_event_carries_value(self, sim):
+        event = sim.event()
+
+        def producer():
+            yield sim.timeout(10)
+            event.trigger("payload")
+
+        def consumer():
+            value = yield event
+            return value
+
+        sim.process(producer())
+        assert sim.run_process(consumer()) == "payload"
+
+    def test_event_double_trigger_is_error(self, sim):
+        event = sim.event()
+        event.trigger(1)
+        with pytest.raises(SimulationError):
+            event.trigger(2)
+
+    def test_failed_event_raises_in_waiter(self, sim):
+        event = sim.event()
+
+        def failer():
+            yield sim.timeout(5)
+            event.fail(RuntimeError("boom"))
+
+        def waiter():
+            yield event
+
+        sim.process(failer())
+        proc = sim.process(waiter())
+        sim.run()
+        assert isinstance(proc.exception, RuntimeError)
+
+    def test_callback_on_already_triggered_event_runs(self, sim):
+        event = sim.event()
+        event.trigger(42)
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == [42]
+
+
+class TestProcesses:
+    def test_process_return_value(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            return "done"
+
+        assert sim.run_process(proc()) == "done"
+
+    def test_process_waits_on_process(self, sim):
+        def inner():
+            yield sim.timeout(50)
+            return 7
+
+        def outer():
+            value = yield sim.process(inner())
+            return (value, sim.now)
+
+        assert sim.run_process(outer()) == (7, 50)
+
+    def test_interrupt_wakes_process(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(1000)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, sim.now)
+
+        proc = sim.process(sleeper())
+
+        def killer():
+            yield sim.timeout(10)
+            proc.interrupt("reason")
+
+        sim.process(killer())
+        sim.run()
+        assert proc.value == ("interrupted", "reason", 10)
+
+    def test_unhandled_interrupt_terminates_cleanly(self, sim):
+        def sleeper():
+            yield sim.timeout(1000)
+
+        proc = sim.process(sleeper())
+
+        def killer():
+            yield sim.timeout(5)
+            proc.interrupt()
+
+        sim.process(killer())
+        sim.run()
+        assert proc.triggered
+        assert proc.exception is None
+
+    def test_interrupt_of_finished_process_is_noop(self, sim):
+        def quick():
+            yield sim.timeout(1)
+
+        proc = sim.process(quick())
+        sim.run()
+        proc.interrupt()  # must not raise
+        sim.run()
+
+    def test_yielding_non_event_is_error(self, sim):
+        def bad():
+            yield 42
+
+        proc = sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+            if proc.exception:
+                raise proc.exception
+
+
+class TestConditions:
+    def test_any_of_returns_first(self, sim):
+        def proc():
+            first = yield sim.any_of([sim.timeout(30, "slow"),
+                                      sim.timeout(10, "fast")])
+            return (first.value, sim.now)
+
+        assert sim.run_process(proc()) == ("fast", 10)
+
+    def test_all_of_waits_for_all(self, sim):
+        def proc():
+            values = yield sim.all_of([sim.timeout(30, "a"),
+                                       sim.timeout(10, "b")])
+            return (sorted(values), sim.now)
+
+        assert sim.run_process(proc()) == (["a", "b"], 30)
+
+    def test_all_of_empty_triggers_immediately(self, sim):
+        def proc():
+            values = yield sim.all_of([])
+            return values
+
+        assert sim.run_process(proc()) == []
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def trace():
+            sim = Simulator()
+            log = []
+
+            def worker(name, delay):
+                yield sim.timeout(delay)
+                log.append((sim.now, name))
+
+            for index in range(10):
+                sim.process(worker(f"w{index}", (index * 37) % 5))
+            sim.run()
+            return log
+
+        assert trace() == trace()
+
+    def test_ties_broken_by_insertion_order(self, sim):
+        log = []
+
+        def worker(name):
+            yield sim.timeout(10)
+            log.append(name)
+
+        for name in ("first", "second", "third"):
+            sim.process(worker(name))
+        sim.run()
+        assert log == ["first", "second", "third"]
+
+    def test_run_until_stops_clock(self, sim):
+        def proc():
+            yield sim.timeout(1000)
+
+        sim.process(proc())
+        sim.run(until=100)
+        assert sim.now == 100
+
+    def test_max_events_guard(self, sim):
+        def forever():
+            while True:
+                yield sim.timeout(1)
+
+        sim.process(forever())
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestResource:
+    def test_serializes_beyond_capacity(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def worker(name):
+            yield from res.use(10)
+            log.append((sim.now, name))
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert log == [(10, "a"), (20, "b")]
+
+    def test_capacity_two_runs_in_parallel(self, sim):
+        res = Resource(sim, capacity=2)
+        log = []
+
+        def worker(name):
+            yield from res.use(10)
+            log.append((sim.now, name))
+
+        for name in ("a", "b", "c"):
+            sim.process(worker(name))
+        sim.run()
+        assert log == [(10, "a"), (10, "b"), (20, "c")]
+
+    def test_double_release_detected(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            grant = yield res.acquire()
+            res.release(grant)
+            res.release(grant)
+
+        proc = sim.process(worker())
+        sim.run()
+        assert isinstance(proc.exception, ValueError)
+
+    def test_fifo_ordering_of_waiters(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name, start):
+            yield sim.timeout(start)
+            yield from res.use(100)
+            order.append(name)
+
+        sim.process(worker("a", 0))
+        sim.process(worker("b", 1))
+        sim.process(worker("c", 2))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+
+        def getter():
+            value = yield store.get()
+            return value
+
+        assert sim.run_process(getter()) == "x"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+
+        def getter():
+            value = yield store.get()
+            return (value, sim.now)
+
+        def putter():
+            yield sim.timeout(25)
+            store.put("y")
+
+        sim.process(putter())
+        assert sim.run_process(getter()) == ("y", 25)
+
+    def test_try_get_nonblocking(self, sim):
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put(1)
+        assert store.try_get() == 1
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        for item in (1, 2, 3):
+            store.put(item)
+        assert [store.try_get() for _ in range(3)] == [1, 2, 3]
+
+
+class TestTokenBucket:
+    def test_burst_allows_immediate_ops(self, sim):
+        bucket = TokenBucket(sim, rate_per_sec=1000, burst=5)
+
+        def worker():
+            for _ in range(5):
+                yield from bucket.throttle()
+            return sim.now
+
+        assert sim.run_process(worker()) == 0
+
+    def test_rate_enforced_after_burst(self, sim):
+        # 1000 ops/s -> 1 ms per token after the burst drains.
+        bucket = TokenBucket(sim, rate_per_sec=1000, burst=1)
+
+        def worker():
+            times = []
+            for _ in range(3):
+                yield from bucket.throttle()
+                times.append(sim.now)
+            return times
+
+        times = sim.run_process(worker())
+        assert times[0] == 0
+        assert 900_000 <= times[1] <= 1_100_000
+        assert 1_900_000 <= times[2] <= 2_100_000
+
+    def test_cost_larger_than_burst_rejected(self, sim):
+        bucket = TokenBucket(sim, rate_per_sec=10, burst=2)
+
+        def worker():
+            yield from bucket.throttle(5)
+
+        proc = sim.process(worker())
+        sim.run()
+        assert isinstance(proc.exception, ValueError)

@@ -1,0 +1,102 @@
+"""Tests for §3.5 wide-operand conditionals (chained CAS segments)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ibv import wr_write
+from repro.redn import ProgramBuilder, ProgramError, RednContext
+
+
+def build_wide_if(lo, x, y, bits=96):
+    """if (x == y) over a `bits`-wide operand; returns dst bytes."""
+    ctx = RednContext(lo.nic, lo.pd, owner="wide")
+    builder = ProgramBuilder(ctx, name="wide")
+    src, _ = ctx.alloc_registered(8)
+    dst, dst_mr = ctx.alloc_registered(8)
+    ctx.memory.write(src.addr, b"WIDE-HIT")
+
+    ctl = builder.control_queue(name="ctl")
+    predicate = builder.worker_queue(name="pred")
+    stages = builder.worker_queue(name="stages")
+    branches = builder.worker_queue(name="branches")
+
+    branch = builder.template(
+        branches, wr_write(src.addr, 8, dst.addr, dst_mr.rkey),
+        tag="wide.branch")
+    chain = builder.emit_wide_if(ctl, predicate, stages, branch,
+                                 compare_value=y, operand_bits=bits)
+
+    # Inject the runtime operand x: segment k into stage k's target id.
+    x_segments = ProgramBuilder.split_wide_operand(x, bits)
+    targets = chain + [branch]
+    for segment, target in zip(x_segments, targets):
+        target.poke("id", segment)
+
+    def run():
+        yield lo.sim.timeout(100_000)
+        return ctx.memory.read(dst.addr, 8)
+
+    return lo.run(run()), builder, chain
+
+
+class TestWideIf:
+    def test_96_bit_match_fires(self, lo):
+        value = (0xABCDEF << 48) | 0x123456789ABC
+        result, _b, chain = build_wide_if(lo, value, value)
+        assert result == b"WIDE-HIT"
+        assert len(chain) == 1   # 96 bits -> 2 segments -> 1 guard
+
+    def test_96_bit_low_segment_mismatch(self, lo):
+        y = (0xAAAA << 48) | 0x1111
+        x = (0xAAAA << 48) | 0x2222       # low 48 bits differ
+        result, _b, _c = build_wide_if(lo, x, y)
+        assert result == bytes(8)
+
+    def test_96_bit_high_segment_mismatch(self, lo):
+        y = (0xAAAA << 48) | 0x1111
+        x = (0xBBBB << 48) | 0x1111       # high segment differs
+        result, _b, _c = build_wide_if(lo, x, y)
+        assert result == bytes(8)
+
+    def test_144_bit_operand_three_segments(self, lo):
+        value = (0x77 << 96) | (0x66 << 48) | 0x55
+        result, _b, chain = build_wide_if(lo, value, value, bits=144)
+        assert result == b"WIDE-HIT"
+        assert len(chain) == 2
+
+    def test_144_bit_middle_mismatch(self, lo):
+        y = (0x77 << 96) | (0x66 << 48) | 0x55
+        x = (0x77 << 96) | (0x99 << 48) | 0x55
+        result, _b, _c = build_wide_if(lo, x, y, bits=144)
+        assert result == bytes(8)
+
+    def test_narrow_operand_rejected(self, lo):
+        with pytest.raises((ProgramError, Exception)):
+            build_wide_if(lo, 1, 1, bits=48)
+
+    def test_mismatch_leaves_guards_disarmed(self, lo):
+        """A low-segment miss must leave later guards as NOOPs — the
+        chain never partially fires."""
+        y = (0xCC << 48) | 0xDD
+        x = (0xCC << 48) | 0xEE
+        _result, _builder, chain = build_wide_if(lo, x, y)
+        from repro.nic import Opcode, split_ctrl
+        opcode, _id = split_ctrl(chain[0].peek("ctrl"))
+        assert opcode == Opcode.NOOP
+
+    def test_split_wide_operand(self):
+        segments = ProgramBuilder.split_wide_operand(
+            (5 << 48) | 7, 96)
+        assert segments == [7, 5]
+        with pytest.raises(ProgramError):
+            ProgramBuilder.split_wide_operand(1 << 96, 96)
+
+    @given(st.integers(min_value=0, max_value=(1 << 96) - 1),
+           st.integers(min_value=0, max_value=(1 << 96) - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_property_wide_if_equals_python_equality(self, x, y):
+        from conftest import LoopbackRig
+        lo = LoopbackRig()
+        result, _b, _c = build_wide_if(lo, x, y)
+        expected = b"WIDE-HIT" if x == y else bytes(8)
+        assert result == expected
