@@ -1,0 +1,48 @@
+"""Simulator wall-clock speed: events/second through the full stack.
+
+Unlike every other benchmark in this directory — which report *simulated*
+nanoseconds and must match the paper — this one measures how fast the
+simulator itself runs on the host CPU. It replays the two canonical
+workloads from ``tools/perf_smoke.py`` (the Fig 13 offload-call replay
+and the Table 3 flood) and reports kernel events per CPU-second.
+
+Marked ``bench`` so the wall-clock-sensitive run can be split from the
+deterministic tier-1 suite: ``pytest -m "not bench"`` skips it.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from _common import print_comparison, run_once
+
+from perf_smoke import WORKLOADS, run_workload
+
+pytestmark = pytest.mark.bench
+
+
+def bench_simspeed(benchmark):
+    def scenario():
+        results = {}
+        for name in WORKLOADS:
+            measured = run_workload(name, reps=3)
+            results[f"{name}_events_per_sec"] = measured["events_per_sec"]
+            results[f"{name}_events"] = measured["events"]
+            results[f"{name}_cpu_seconds"] = measured["cpu_seconds"]
+        return results
+
+    result = run_once(benchmark, scenario)
+    rows = [(name,
+             f"{result[f'{name}_events_per_sec']:,d}",
+             result[f"{name}_events"],
+             f"{result[f'{name}_cpu_seconds']:.3f}")
+            for name in WORKLOADS]
+    print_comparison(
+        "Simulator speed — kernel events per CPU-second",
+        ["workload", "events/s", "events", "best CPU s"], rows)
+    for name in WORKLOADS:
+        assert result[f"{name}_events_per_sec"] > 0

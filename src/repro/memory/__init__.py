@@ -1,6 +1,12 @@
 """Simulated host memory: DRAM, registration, and byte-layout codecs."""
 
-from .dram import NULL_ADDR, Allocation, HostMemory, MemoryError_
+from .dram import (
+    NULL_ADDR,
+    Allocation,
+    GenerationRange,
+    HostMemory,
+    MemoryError_,
+)
 from .layout import Field, Struct, mask, pack_uint, unpack_uint
 from .region import (
     AccessFlags,
@@ -13,6 +19,7 @@ __all__ = [
     "AccessFlags",
     "Allocation",
     "Field",
+    "GenerationRange",
     "HostMemory",
     "MemoryError_",
     "MemoryRegion",

@@ -16,11 +16,13 @@ OS frees pinned pages.
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from typing import Dict, List, Optional, Tuple
 
 from .layout import pack_uint, unpack_uint
 
-__all__ = ["HostMemory", "Allocation", "MemoryError_", "NULL_ADDR"]
+__all__ = ["HostMemory", "Allocation", "GenerationRange", "MemoryError_",
+           "NULL_ADDR"]
 
 NULL_ADDR = 0
 
@@ -55,6 +57,42 @@ class Allocation:
         return self.addr <= addr and addr + length <= self.end
 
 
+class GenerationRange:
+    """Per-chunk write generation counters over one address range.
+
+    Consumers that cache decoded views of memory (the WQE decode cache
+    in :class:`repro.nic.queue.WorkQueue`) register their range here;
+    every write that overlaps a chunk bumps that chunk's counter, so a
+    cached decode is valid exactly when its generation snapshot still
+    matches. This is the software analogue of the NIC watching its own
+    DMA engine: any store into queue memory invalidates the fetched
+    snapshot, no matter which verb or host path issued it.
+    """
+
+    __slots__ = ("start", "end", "granularity", "gens")
+
+    def __init__(self, start: int, length: int, granularity: int = 64):
+        self.start = start
+        self.end = start + length
+        self.granularity = granularity
+        self.gens: List[int] = [0] * (
+            (length + granularity - 1) // granularity)
+
+    def __repr__(self) -> str:
+        return (f"<GenerationRange [{self.start:#x},{self.end:#x}) "
+                f"/{self.granularity}>")
+
+    def bump(self, lo: int, hi: int) -> None:
+        """Bump every chunk overlapping [lo, hi) (pre-clipped bounds)."""
+        granularity = self.granularity
+        start = self.start
+        first = (lo - start) // granularity
+        last = (hi - 1 - start) // granularity
+        gens = self.gens
+        for index in range(first, last + 1):
+            gens[index] += 1
+
+
 class HostMemory:
     """Byte-addressable simulated DRAM with owner-tagged allocations."""
 
@@ -64,8 +102,13 @@ class HostMemory:
         self.name = name
         self.size = size
         self._bytes = bytearray(size)
+        self._view = memoryview(self._bytes)
         self._next = self.BASE_ADDR
         self._allocations: List[Allocation] = []
+        # Registered generation ranges, sorted by start (disjoint: they
+        # come from disjoint allocations).
+        self._gen_starts: List[int] = []
+        self._gen_ranges: List[GenerationRange] = []
 
     def __repr__(self) -> str:
         return (f"<HostMemory {self.name} used="
@@ -96,6 +139,8 @@ class HostMemory:
         allocation.freed = True
         self._bytes[allocation.addr:allocation.end] = bytes(
             [_POISON]) * allocation.size
+        if self._gen_starts:
+            self._bump_gens(allocation.addr, allocation.end)
 
     def allocations_owned_by(self, owner: str) -> List[Allocation]:
         return [a for a in self._allocations
@@ -113,9 +158,56 @@ class HostMemory:
             self.free(allocation)
         return reclaimed
 
+    # -- write-generation tracking ---------------------------------------
+
+    def register_generation_range(self, addr: int, length: int,
+                                  granularity: int = 64) -> GenerationRange:
+        """Track write generations over [addr, addr+length).
+
+        Every mutation of bytes in the range (write, fill, atomics, free
+        poisoning) bumps the generation of each ``granularity``-sized
+        chunk it touches. Callers snapshot generations to key caches of
+        decoded memory contents.
+        """
+        self._check(addr, length)
+        gen_range = GenerationRange(addr, length, granularity)
+        index = bisect_right(self._gen_starts, addr)
+        self._gen_starts.insert(index, addr)
+        self._gen_ranges.insert(index, gen_range)
+        return gen_range
+
+    def _bump_gens(self, lo: int, hi: int) -> None:
+        """Bump generations of registered chunks overlapping [lo, hi)."""
+        starts = self._gen_starts
+        index = bisect_right(starts, lo)
+        # The range starting at or before lo may contain it.
+        if index and self._gen_ranges[index - 1].end > lo:
+            index -= 1
+        ranges = self._gen_ranges
+        count = len(ranges)
+        while index < count:
+            gen_range = ranges[index]
+            start = gen_range.start
+            if start >= hi:
+                break
+            # GenerationRange.bump inlined: single-chunk writes (one WQE
+            # slot) are the overwhelmingly common case on the post path.
+            granularity = gen_range.granularity
+            first = (max(lo, start) - start) // granularity
+            last = (min(hi, gen_range.end) - 1 - start) // granularity
+            gens = gen_range.gens
+            if first == last:
+                gens[first] += 1
+            else:
+                for chunk in range(first, last + 1):
+                    gens[chunk] += 1
+            index += 1
+
     # -- raw access ------------------------------------------------------
 
     def _check(self, addr: int, length: int) -> None:
+        if length < 0:
+            raise MemoryError_(f"negative access length {length}")
         if addr < self.BASE_ADDR or addr + length > self.size:
             raise MemoryError_(
                 f"access [{addr:#x},{addr + length:#x}) outside DRAM")
@@ -124,25 +216,55 @@ class HostMemory:
         self._check(addr, length)
         return bytes(self._bytes[addr:addr + length])
 
+    def view(self, addr: int, length: int) -> memoryview:
+        """Zero-copy read-only window into DRAM.
+
+        Read-only on purpose: all mutations must flow through the write
+        APIs so generation counters (and therefore WQE decode caches)
+        stay coherent.
+        """
+        self._check(addr, length)
+        return self._view[addr:addr + length].toreadonly()
+
     def write(self, addr: int, data: bytes) -> None:
-        self._check(addr, len(data))
-        self._bytes[addr:addr + len(data)] = data
+        length = len(data)
+        if addr < self.BASE_ADDR or addr + length > self.size:
+            raise MemoryError_(
+                f"access [{addr:#x},{addr + length:#x}) outside DRAM")
+        self._bytes[addr:addr + length] = data
+        if self._gen_starts:
+            self._bump_gens(addr, addr + length)
 
     def read_uint(self, addr: int, width: int) -> int:
-        return unpack_uint(self.read(addr, width))
+        self._check(addr, width)
+        return int.from_bytes(self._bytes[addr:addr + width], "big")
 
     def write_uint(self, addr: int, value: int, width: int) -> None:
         self.write(addr, pack_uint(value, width))
 
     def read_u64(self, addr: int) -> int:
-        return self.read_uint(addr, 8)
+        if addr < self.BASE_ADDR or addr + 8 > self.size:
+            raise MemoryError_(
+                f"access [{addr:#x},{addr + 8:#x}) outside DRAM")
+        return int.from_bytes(self._bytes[addr:addr + 8], "big")
 
     def write_u64(self, addr: int, value: int) -> None:
-        self.write_uint(addr, value, 8)
+        if addr < self.BASE_ADDR or addr + 8 > self.size:
+            raise MemoryError_(
+                f"access [{addr:#x},{addr + 8:#x}) outside DRAM")
+        try:
+            self._bytes[addr:addr + 8] = value.to_bytes(8, "big")
+        except OverflowError:
+            raise ValueError(
+                f"value {value:#x} does not fit in 8 bytes") from None
+        if self._gen_starts:
+            self._bump_gens(addr, addr + 8)
 
     def fill(self, addr: int, length: int, byte: int = 0) -> None:
         self._check(addr, length)
         self._bytes[addr:addr + length] = bytes([byte]) * length
+        if self._gen_starts:
+            self._bump_gens(addr, addr + length)
 
     def compare_and_swap_u64(self, addr: int, expected: int,
                              desired: int) -> int:

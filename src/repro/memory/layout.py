@@ -12,6 +12,14 @@ endian (§5.4).
 width)`` fields once and get bounds-checked pack/unpack plus per-field
 address arithmetic (``field_offset`` is what self-modifying code uses to
 aim a CAS or WRITE at a specific field of a specific WQE).
+
+Each struct is *compiled* at declaration time into a flat slice table
+``(name, offset, end, width, bound)`` so that the hot pack/unpack paths
+are a single pass of ``int.from_bytes``/``int.to_bytes`` over
+precomputed slices — no per-field method dispatch, no intermediate
+``bytes()`` copies. The original per-field path survives as
+``unpack_legacy`` (toggled via ``Struct.use_compiled``) purely so tests
+can differentially check the compiled codec against it.
 """
 
 from __future__ import annotations
@@ -47,19 +55,17 @@ def unpack_uint(data: bytes) -> int:
 class Field:
     """One fixed-width unsigned big-endian field inside a Struct."""
 
-    __slots__ = ("name", "offset", "width")
+    __slots__ = ("name", "offset", "width", "end", "bound")
 
     def __init__(self, name: str, offset: int, width: int):
         self.name = name
         self.offset = offset
         self.width = width
+        self.end = offset + width
+        self.bound = 1 << (8 * width)
 
     def __repr__(self) -> str:
         return f"<Field {self.name}@{self.offset}+{self.width}>"
-
-    @property
-    def end(self) -> int:
-        return self.offset + self.width
 
 
 class Struct:
@@ -68,6 +74,10 @@ class Struct:
     Fields may not overlap; gaps are permitted (reserved bytes) and are
     preserved as zeroes by :meth:`pack`.
     """
+
+    #: When False, :meth:`unpack` routes through the original per-field
+    #: path — kept only for differential testing of the compiled codec.
+    use_compiled = True
 
     def __init__(self, name: str, size: int,
                  fields: Iterable[Tuple[str, int, int]]):
@@ -88,6 +98,10 @@ class Struct:
                         f"field {fname!r} overlaps another field in {name}")
             claimed.append((offset, field.end))
             self.fields[fname] = field
+        # Compiled slice table: one flat tuple drives the hot paths.
+        self._layout: Tuple[Tuple[str, int, int, int, int], ...] = tuple(
+            (f.name, f.offset, f.end, f.width, f.bound)
+            for f in self.fields.values())
 
     def __repr__(self) -> str:
         return f"<Struct {self.name} size={self.size}>"
@@ -102,25 +116,57 @@ class Struct:
     def pack(self, **values: int) -> bytearray:
         """Encode field values into a fresh ``size``-byte buffer."""
         buf = bytearray(self.size)
+        fields = self.fields
         for fname, value in values.items():
-            self.pack_into(buf, 0, fname, value)
+            field = fields[fname]
+            if not 0 <= value < field.bound:
+                raise ValueError(
+                    f"value {value:#x} does not fit in {field.width} bytes")
+            buf[field.offset:field.end] = value.to_bytes(field.width, "big")
         return buf
 
     def pack_into(self, buf: bytearray, base: int, fname: str,
                   value: int) -> None:
         """Encode one field into ``buf`` at struct base offset ``base``."""
         field = self.fields[fname]
-        buf[base + field.offset: base + field.end] = pack_uint(
-            value, field.width)
+        if not 0 <= value < field.bound:
+            raise ValueError(
+                f"value {value:#x} does not fit in {field.width} bytes")
+        buf[base + field.offset:base + field.end] = value.to_bytes(
+            field.width, "big")
 
     def unpack(self, buf: bytes, base: int = 0) -> Dict[str, int]:
         """Decode every field from ``buf`` at base offset ``base``."""
         if base + self.size > len(buf):
             raise ValueError(
                 f"buffer too short for {self.name} at offset {base}")
-        return {fname: self.unpack_field(buf, base, fname)
-                for fname in self.fields}
+        if not self.use_compiled:
+            return {fname: self.unpack_field(buf, base, fname)
+                    for fname in self.fields}
+        return self.unpack_from(buf, base)
+
+    def unpack_from(self, buf, base: int = 0) -> Dict[str, int]:
+        """Single-pass decode from any buffer (bytes/bytearray/memoryview).
+
+        No bounds validation: slices are precomputed, the buffer is
+        trusted to be large enough (use :meth:`unpack` for the checked
+        variant). Memoryview input avoids byte copies entirely.
+        """
+        from_bytes = int.from_bytes
+        if base:
+            return {name: from_bytes(buf[base + off:base + end], "big")
+                    for name, off, end, _w, _b in self._layout}
+        return {name: from_bytes(buf[off:end], "big")
+                for name, off, end, _w, _b in self._layout}
 
     def unpack_field(self, buf: bytes, base: int, fname: str) -> int:
         field = self.fields[fname]
         return unpack_uint(bytes(buf[base + field.offset: base + field.end]))
+
+    def unpack_legacy(self, buf: bytes, base: int = 0) -> Dict[str, int]:
+        """Original per-field decode path (differential-test reference)."""
+        if base + self.size > len(buf):
+            raise ValueError(
+                f"buffer too short for {self.name} at offset {base}")
+        return {fname: self.unpack_field(buf, base, fname)
+                for fname in self.fields}

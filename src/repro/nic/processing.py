@@ -27,8 +27,8 @@ from typing import List, Optional, Tuple, TYPE_CHECKING
 
 from ..memory.dram import MemoryError_
 from ..memory.region import ProtectionError
-from ..sim.core import Event
-from .opcodes import Opcode, WrFlags
+from ..sim.core import Event, Timeout
+from .opcodes import OPCODE_NAMES, Opcode, WrFlags
 from .queue import Cqe, QueueError, WorkQueue
 from .wqe import Wqe
 
@@ -48,6 +48,10 @@ class SendQueueDriver:
         self._prev_completion: Event = nic.sim.event()
         self._prev_completion.trigger(None)
         self.process = None
+        # Port-derived lookups are fixed once the RNIC adopts the queue;
+        # resolved lazily on first use and cached for the hot loop.
+        self._pu = None
+        self._engine = None
 
     def start(self) -> None:
         self.process = self.nic.sim.process(
@@ -72,7 +76,9 @@ class SendQueueDriver:
     def _fetch(self) -> List[Tuple[Wqe, int]]:
         timing = self.nic.timing
         wq = self.wq
-        engine = self.nic.port_of(wq).fetch_engine
+        engine = self._engine
+        if engine is None:
+            engine = self._engine = self.nic.port_of(wq).fetch_engine
         sim = self.nic.sim
         if wq.managed:
             # Doorbell ordering: one dependent DMA per WQE. Data verbs
@@ -80,8 +86,10 @@ class SendQueueDriver:
             # writeback shares the context); WAIT/ENABLE are recognized
             # at fetch time and release immediately — that asymmetry is
             # what separates if-chain and recycled-while throughput.
-            grant = yield engine.acquire()
-            yield sim.timeout(timing.wqe_fetch_ns)
+            grant = engine.try_acquire()
+            if grant is None:
+                grant = yield engine.acquire()
+            yield Timeout(sim, timing.wqe_fetch_ns)
             if wq.destroyed:
                 engine.release(grant)
                 return []
@@ -91,21 +99,25 @@ class SendQueueDriver:
             extra_hold = timing.managed_fetch_hold_ns - timing.wqe_fetch_ns
             if extra_hold > 0 and wqe.opcode not in (Opcode.WAIT,
                                                      Opcode.ENABLE):
-                sim.process(self._release_later(engine, grant, extra_hold))
+                # Plain callback, not a process: nothing observes the
+                # release other than the engine's FIFO wait queue.
+                sim.schedule_at(sim.now + extra_hold, engine.release, grant)
             else:
                 engine.release(grant)
             self.stats["fetch_managed"] += 1
             return [(wqe, wr_index)]
 
         count = min(wq.fetchable, timing.prefetch_batch)
-        grant = yield engine.acquire()
+        grant = engine.try_acquire()
+        if grant is None:
+            grant = yield engine.acquire()
         hold = timing.batch_fetch_hold_per_wqe_ns * count
         if hold:
-            yield sim.timeout(hold)
+            yield Timeout(sim, hold)
         engine.release(grant)
         remaining = timing.wqe_fetch_ns - hold
         if remaining > 0:
-            yield sim.timeout(remaining)
+            yield Timeout(sim, remaining)
         if wq.destroyed:
             return []
         batch = []
@@ -120,10 +132,6 @@ class SendQueueDriver:
         self.stats["fetch_prefetched"] += len(batch)
         return batch
 
-    def _release_later(self, engine, grant, delay: int):
-        yield self.nic.sim.timeout(delay)
-        engine.release(grant)
-
     # -- execute path -----------------------------------------------------------
 
     def _execute(self, wqe: Wqe, wr_index: int):
@@ -131,8 +139,13 @@ class SendQueueDriver:
         timing = self.nic.timing
         wq = self.wq
         opcode = wqe.opcode
-        self.stats[opcode] += 1
-        self.nic_stats_bump(opcode)
+        # Stats are keyed by opcode *name* so Counter dumps read like
+        # "WRITE: 512" rather than mixing raw ints with string keys.
+        op_name = OPCODE_NAMES.get(opcode, f"OP{opcode:#x}")
+        self.stats[op_name] += 1
+        nic_stats = self.nic.stats
+        nic_stats[op_name] += 1
+        nic_stats["total_wrs"] += 1
 
         if wq.rate_limiter is not None:
             yield from wq.rate_limiter.throttle(1.0)
@@ -143,13 +156,13 @@ class SendQueueDriver:
                 self._signal(wqe, wr_index, status="BAD_WAIT_TARGET")
                 return
             yield cq.wait_for_count(wqe.wqe_count)
-            yield sim.timeout(timing.wait_check_ns)
+            yield Timeout(sim, timing.wait_check_ns)
             self._signal_if_requested(wqe, wr_index)
             return
 
         if opcode == Opcode.ENABLE:
             target = self.nic.wqs.get(wqe.target)
-            yield sim.timeout(timing.enable_ns)
+            yield Timeout(sim, timing.enable_ns)
             if target is None or target.destroyed:
                 self._signal(wqe, wr_index, status="BAD_ENABLE_TARGET")
                 return
@@ -162,7 +175,9 @@ class SendQueueDriver:
         if wqe.flags & WrFlags.FENCE:
             yield self._prev_completion
 
-        pu = self.nic.port_of(wq).pus[wq.pu_index]
+        pu = self._pu
+        if pu is None:
+            pu = self._pu = self.nic.port_of(wq).pus[wq.pu_index]
         yield from pu.use(timing.occupancy(opcode))
 
         prev = self._prev_completion
@@ -213,11 +228,3 @@ class SendQueueDriver:
                   immediate=immediate, timestamp=self.nic.sim.now)
         self.wq.cq.post_completion(
             cqe, host_delay_ns=self.nic.timing.cqe_dma_ns)
-
-    def nic_stats_bump(self, opcode: int) -> None:
-        stats = getattr(self.nic, "stats", None)
-        if stats is None:
-            stats = Counter()
-            self.nic.stats = stats
-        stats[opcode] += 1
-        stats["total_wrs"] += 1

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Deque, List, Optional, TYPE_CHECKING, Tuple
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from ..memory.dram import Allocation, HostMemory
 from ..sim.core import Event, Simulator
@@ -79,6 +79,7 @@ class CompletionQueue:
         self.cq_num = cq_num
         self.name = name or f"cq{cq_num}"
         self.count = 0                      # monotonic, for WAIT verbs
+        self._wait_event_name = f"{self.name}-wait"
         self._entries: Deque[Cqe] = deque()  # host-visible CQEs
         self._watchers: List[Tuple[int, Event]] = []
         self._channel_waiters: Deque[Event] = deque()
@@ -100,11 +101,13 @@ class CompletionQueue:
         if self.destroyed:
             return
         self.count += 1
-        ready = [(n, ev) for n, ev in self._watchers if self.count >= n]
-        self._watchers = [(n, ev) for n, ev in self._watchers
-                          if self.count < n]
-        for _n, event in ready:
-            event.trigger(self.count)
+        if self._watchers:
+            ready = [(n, ev) for n, ev in self._watchers if self.count >= n]
+            if ready:
+                self._watchers = [(n, ev) for n, ev in self._watchers
+                                  if self.count < n]
+                for _n, event in ready:
+                    event.trigger(self.count)
         if host_delay_ns > 0:
             self.sim.schedule_at(self.sim.now + host_delay_ns,
                                  self._deliver_to_host, cqe)
@@ -120,7 +123,7 @@ class CompletionQueue:
 
     def wait_for_count(self, threshold: int) -> Event:
         """Event triggering once ``count >= threshold`` (WAIT verb hook)."""
-        event = self.sim.event(name=f"{self.name}>= {threshold}")
+        event = Event(self.sim, self._wait_event_name)
         if self.count >= threshold:
             event.trigger(self.count)
         else:
@@ -176,6 +179,17 @@ class WorkQueue:
             label=f"{self.name}-ring", align=WQE_SLOT_SIZE)
         self.qp: Optional["QueuePair"] = None
 
+        # Decoded-WQE cache. Each fetch decodes the slot bytes the NIC
+        # snapshots over PCIe; since most slots are written once and
+        # fetched many times (recycled queues re-execute ring contents
+        # verbatim), the decode is cached keyed on the slots' write
+        # generations. A generation bump — any DRAM store into the slot,
+        # from host or verb — invalidates exactly like a real store
+        # racing the NIC's fetch engine would produce fresh bytes.
+        self._ring_gens = memory.register_generation_range(
+            self.ring.addr, self.ring.size, granularity=WQE_SLOT_SIZE)
+        self._decode_cache: Dict[int, Tuple[Tuple[int, ...], Wqe, int]] = {}
+
         # Producer side (WR granularity, monotonic).
         self.posted_count = 0
         self._post_slot_cursor = 0           # slot-granular producer cursor
@@ -189,6 +203,8 @@ class WorkQueue:
 
         self.rate_limiter: Optional[TokenBucket] = None
         self.destroyed = False
+        self._work_event_name = f"{self.name}-work"
+        self._recv_event_name = f"{self.name}-recv-avail"
         self._work_events: List[Event] = []
         # Serializes inbound SEND consumption for recv queues.
         self.consume_lock = Resource(sim, 1, name=f"{self.name}-consume")
@@ -236,15 +252,22 @@ class WorkQueue:
         slots = len(data) // WQE_SLOT_SIZE
         if slots > self.num_slots:
             raise QueueError(f"WQE of {slots} slots exceeds ring size")
-        if slots > self.free_slots:
+        cursor = self._post_slot_cursor
+        if slots > self.num_slots - (cursor - self._fetch_slot_cursor):
             raise QueueError(
                 f"{self!r} overflow: {slots}-slot WQE but only "
                 f"{self.free_slots} slots free")
-        for index in range(slots):
+        if slots == 1:
             self.memory.write(
-                self.slot_addr(self._post_slot_cursor + index),
-                bytes(data[index * WQE_SLOT_SIZE:(index + 1) * WQE_SLOT_SIZE]))
-        self._post_slot_cursor += slots
+                self.ring.addr + (cursor % self.num_slots) * WQE_SLOT_SIZE,
+                data)
+        else:
+            for index in range(slots):
+                self.memory.write(
+                    self.slot_addr(cursor + index),
+                    bytes(data[index * WQE_SLOT_SIZE:
+                               (index + 1) * WQE_SLOT_SIZE]))
+        self._post_slot_cursor = cursor + slots
         wr_index = self.posted_count
         self.posted_count += 1
         if ring_doorbell is None:
@@ -289,7 +312,7 @@ class WorkQueue:
 
     def work_available(self) -> Event:
         """Event that triggers when at least one WR becomes fetchable."""
-        event = self.sim.event(name=f"{self.name}-work")
+        event = Event(self.sim, self._work_event_name)
         if self.fetchable > 0 or self.destroyed:
             event.trigger(None)
         else:
@@ -307,16 +330,61 @@ class WorkQueue:
         Returns (wqe, slots). Does not advance the cursor — the caller
         advances after modelling the DMA delay so that racing writes to
         queue memory behave like they do on hardware.
+
+        Decodes are cached per ring slot, keyed on the involved slots'
+        write generations: the cache only ever returns a decode of byte
+        content identical to what a fresh fetch would DMA, so §3.1
+        fetch/prefetch incoherence semantics are untouched (any store
+        into the slots produces a fresh decode).
         """
-        header = self.memory.read(
-            self.slot_addr(self._fetch_slot_cursor), WQE_SLOT_SIZE)
-        num_slots = header[54]  # num_slots field, avoids full decode
-        buf = bytearray(header)
-        for index in range(1, max(1, num_slots)):
-            buf.extend(self.memory.read(
-                self.slot_addr(self._fetch_slot_cursor + index),
-                WQE_SLOT_SIZE))
-        return Wqe.decode(bytes(buf)), max(1, num_slots)
+        ring_slots = self.num_slots
+        slot_index = self._fetch_slot_cursor % ring_slots
+        gens = self._ring_gens.gens
+        cached = self._decode_cache.get(slot_index)
+        if cached is not None:
+            snapshot, wqe, wqe_slots = cached
+            # Single-slot WQEs (the overwhelming majority) key on a bare
+            # generation int; multi-slot WQEs carry a tuple.
+            if wqe_slots == 1:
+                if gens[slot_index] == snapshot:
+                    return wqe, 1
+            else:
+                index = slot_index
+                for gen in snapshot:
+                    if gens[index] != gen:
+                        break
+                    index += 1
+                    if index == ring_slots:
+                        index = 0
+                else:
+                    return wqe, wqe_slots
+        memory = self.memory
+        header_addr = self.ring.addr + slot_index * WQE_SLOT_SIZE
+        header = memory.view(header_addr, WQE_SLOT_SIZE)
+        wqe_slots = max(1, header[54])  # num_slots field, pre-decode peek
+        if wqe_slots == 1:
+            wqe = Wqe.decode(header)
+            self._decode_cache[slot_index] = (gens[slot_index], wqe, 1)
+            return wqe, 1
+        if slot_index + wqe_slots <= ring_slots:
+            # Contiguous in the ring: decode straight off DRAM.
+            wqe = Wqe.decode(
+                memory.view(header_addr, wqe_slots * WQE_SLOT_SIZE))
+            snapshot = tuple(
+                gens[slot_index:slot_index + wqe_slots])
+        else:
+            # Wraps the ring edge: assemble the slots.
+            buf = bytearray(header)
+            for index in range(1, wqe_slots):
+                buf.extend(memory.read(
+                    self.slot_addr(self._fetch_slot_cursor + index),
+                    WQE_SLOT_SIZE))
+            wqe = Wqe.decode(bytes(buf))
+            snapshot = tuple(
+                gens[(slot_index + offset) % ring_slots]
+                for offset in range(wqe_slots))
+        self._decode_cache[slot_index] = (snapshot, wqe, wqe_slots)
+        return wqe, wqe_slots
 
     def advance_fetch(self, slots: int) -> None:
         self._fetch_slot_cursor += slots
@@ -333,7 +401,7 @@ class WorkQueue:
 
     def recv_available(self) -> Event:
         """Event for an inbound SEND waiting for a consumable RECV."""
-        event = self.sim.event(name=f"{self.name}-recv-avail")
+        event = Event(self.sim, self._recv_event_name)
         if self.consumable_recvs > 0 or self.destroyed:
             event.trigger(None)
         else:

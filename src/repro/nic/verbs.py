@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Generator, List, Optional, Tuple, TYPE_CHECKING
 
 from ..memory.region import AccessFlags, ProtectionError
+from ..sim.core import Timeout
 from .opcodes import Opcode
 from .qp import QueuePair
 from .queue import Cqe, QueueError
@@ -86,7 +87,7 @@ class VerbExecutor:
             yield from port.wire.use(serialization)
         latency = nic.link_latency_to(src_qp.peer.nic)
         if latency > 0:
-            yield nic.sim.timeout(latency)
+            yield Timeout(nic.sim, latency)
 
     def _dma_in(self, nic: "RNIC", nbytes: int) -> Generator:
         """Initiator/responder DMA of a payload across PCIe (gather)."""
@@ -137,11 +138,11 @@ class VerbExecutor:
         data = nic.memory.read(wqe.laddr, wqe.length) if wqe.length else b""
         yield from self._traverse(qp, wqe.length)
         if not qp.is_loopback:
-            yield nic.sim.timeout(timing.rx_process_ns)
+            yield Timeout(nic.sim, timing.rx_process_ns)
         peer.pd.validate_remote(wqe.rkey, wqe.raddr, max(1, wqe.length),
                                 AccessFlags.REMOTE_WRITE)
         # Posted DMA write of the payload into responder memory.
-        yield nic.sim.timeout(timing.dma_posted_ns)
+        yield Timeout(nic.sim, timing.dma_posted_ns)
         yield from self._dma_in(rnic, wqe.length)
         if wqe.length:
             rnic.memory.write(wqe.raddr, data)
@@ -161,11 +162,11 @@ class VerbExecutor:
         timing = rnic.timing
         yield from self._traverse(qp, 0)  # request
         if not qp.is_loopback:
-            yield nic.sim.timeout(timing.rx_process_ns)
+            yield Timeout(nic.sim, timing.rx_process_ns)
         peer.pd.validate_remote(wqe.rkey, wqe.raddr, max(1, wqe.length),
                                 AccessFlags.REMOTE_READ)
         # Non-posted DMA read on the responder.
-        yield nic.sim.timeout(timing.dma_nonposted_ns)
+        yield Timeout(nic.sim, timing.dma_nonposted_ns)
         yield from self._dma_in(rnic, wqe.length)
         data = rnic.memory.read(wqe.raddr, wqe.length) if wqe.length else b""
         yield from self._traverse(peer, wqe.length)  # response
@@ -184,7 +185,7 @@ class VerbExecutor:
         data = nic.memory.read(wqe.laddr, wqe.length) if wqe.length else b""
         yield from self._traverse(qp, wqe.length)
         if not qp.is_loopback:
-            yield nic.sim.timeout(peer.nic.timing.rx_process_ns)
+            yield Timeout(nic.sim, peer.nic.timing.rx_process_ns)
         byte_len = yield from self._consume_recv(
             peer, payload=data, byte_len=len(data), immediate=0)
         yield from self._traverse(peer, 0)  # ack
@@ -214,7 +215,7 @@ class VerbExecutor:
                 raise QueueError(f"{recv_wq!r} destroyed mid-receive")
             engine = rnic.ports[peer.port_index].fetch_engine
             fetch_grant = yield engine.acquire()
-            yield rnic.sim.timeout(timing.wqe_fetch_ns)
+            yield Timeout(rnic.sim, timing.wqe_fetch_ns)
             recv_wqe, slots = recv_wq.read_wqe_at_cursor()
             recv_wq.advance_fetch(slots)
             engine.release(fetch_grant)
@@ -222,7 +223,7 @@ class VerbExecutor:
             recv_wq.consume_lock.release(grant)
         written = byte_len
         if payload is not None:
-            yield rnic.sim.timeout(timing.dma_posted_ns)
+            yield Timeout(rnic.sim, timing.dma_posted_ns)
             yield from self._dma_in(rnic, len(payload))
             written = self._scatter_bytes(
                 rnic, payload, recv_wqe.sges, recv_wqe.laddr,
@@ -240,12 +241,12 @@ class VerbExecutor:
         timing = rnic.timing
         yield from self._traverse(qp, 16)  # operands travel in the request
         if not qp.is_loopback:
-            yield nic.sim.timeout(timing.rx_process_ns)
+            yield Timeout(nic.sim, timing.rx_process_ns)
         peer.pd.validate_remote(wqe.rkey, wqe.raddr, 8,
                                 AccessFlags.REMOTE_ATOMIC)
         port = rnic.ports[peer.port_index]
         grant = yield port.atomic_unit.acquire()
-        yield nic.sim.timeout(timing.atomic_unit_ns)
+        yield Timeout(nic.sim, timing.atomic_unit_ns)
         if wqe.opcode == Opcode.CAS:
             original = rnic.memory.compare_and_swap_u64(
                 wqe.raddr, wqe.operand0, wqe.operand1)
@@ -255,7 +256,7 @@ class VerbExecutor:
         # Remaining PCIe-atomic transaction latency happens off-unit.
         remaining = timing.atomic_pcie_ns - timing.atomic_unit_ns
         if remaining > 0:
-            yield nic.sim.timeout(remaining)
+            yield Timeout(nic.sim, remaining)
         yield from self._traverse(peer, 8)  # original value returns
         if wqe.laddr:
             nic.memory.write_u64(wqe.laddr, original)
@@ -272,11 +273,11 @@ class VerbExecutor:
                 f"{rnic.model.name} does not support calc verbs")
         yield from self._traverse(qp, 16)
         if not qp.is_loopback:
-            yield nic.sim.timeout(timing.rx_process_ns)
+            yield Timeout(nic.sim, timing.rx_process_ns)
         peer.pd.validate_remote(wqe.rkey, wqe.raddr, 8,
                                 AccessFlags.REMOTE_WRITE
                                 | AccessFlags.REMOTE_READ)
-        yield nic.sim.timeout(timing.dma_nonposted_ns + timing.calc_alu_ns)
+        yield Timeout(nic.sim, timing.dma_nonposted_ns + timing.calc_alu_ns)
         original = rnic.memory.read_u64(wqe.raddr)
         if wqe.opcode == Opcode.MAX:
             result = max(original, wqe.operand0)

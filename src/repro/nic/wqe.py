@@ -27,6 +27,7 @@ in follow-on slots, four 16-byte SGEs per slot, at most 16 SGEs — the
 
 from __future__ import annotations
 
+import struct as _struct
 from typing import List, Optional, Tuple
 
 from ..memory.layout import Struct, mask
@@ -83,6 +84,19 @@ SGE_STRUCT = Struct("sge", 16, [
     ("length", 8, 4),
     ("lkey", 12, 4),
 ])
+
+# Compiled codecs mirroring WQE_HEADER / SGE_STRUCT exactly: one C call
+# replaces a dozen per-field to_bytes/from_bytes round-trips on the
+# fetch and post paths. Field order and widths must match the Struct
+# declarations above (checked by the differential codec tests).
+_HEADER_CODEC = _struct.Struct(">QQIQIQQIHBBII")
+_SGE_CODEC = _struct.Struct(">QII")
+assert _HEADER_CODEC.size == WQE_SLOT_SIZE
+assert _SGE_CODEC.size == SGE_STRUCT.size
+_pack_header = _HEADER_CODEC.pack_into
+_unpack_header = _HEADER_CODEC.unpack_from
+_pack_sge = _SGE_CODEC.pack_into
+_unpack_sge = _SGE_CODEC.unpack_from
 
 # Canonical field names used by self-modifying programs to aim at WQE
 # bytes. FIELD_ID addresses only the low 48 bits of the ctrl word
@@ -161,6 +175,10 @@ class Wqe:
     into queue memory is faithfully picked up on the next fetch.
     """
 
+    __slots__ = ("opcode", "wr_id", "laddr", "length", "raddr", "flags",
+                 "operand0", "operand1", "wqe_count", "target", "lkey",
+                 "rkey", "sges")
+
     def __init__(self, opcode: int = Opcode.NOOP, wr_id: int = 0,
                  laddr: int = 0, length: int = 0, raddr: int = 0,
                  flags: int = WrFlags.NONE, operand0: int = 0,
@@ -201,6 +219,29 @@ class Wqe:
 
     def encode(self) -> bytearray:
         """Serialize to ``num_slots * 64`` bytes."""
+        try:
+            return self._encode_fast()
+        except (OverflowError, _struct.error):
+            # A field is negative or too wide; re-run the checked
+            # per-field path to raise the descriptive ValueError.
+            return self._encode_checked()
+
+    def _encode_fast(self) -> bytearray:
+        sges = self.sges
+        num_sge = len(sges)
+        num_slots = wqe_slots_needed(num_sge)
+        buf = bytearray(num_slots * WQE_SLOT_SIZE)
+        _pack_header(buf, 0, ctrl_word(self.opcode, self.wr_id),
+                     self.laddr, self.length, self.raddr, self.flags,
+                     self.operand0, self.operand1, self.wqe_count,
+                     self.target, num_slots, num_sge, self.lkey, self.rkey)
+        base = WQE_SLOT_SIZE
+        for sge in sges:
+            _pack_sge(buf, base, sge.addr, sge.length, sge.lkey)
+            base += 16
+        return buf
+
+    def _encode_checked(self) -> bytearray:
         buf = bytearray(self.num_slots * WQE_SLOT_SIZE)
         header = WQE_HEADER.pack(
             ctrl=ctrl_word(self.opcode, self.wr_id),
@@ -226,8 +267,49 @@ class Wqe:
         return buf
 
     @classmethod
-    def decode(cls, buf: bytes) -> "Wqe":
-        """Parse a WQE from bytes (header slot + SGE slots)."""
+    def decode(cls, buf) -> "Wqe":
+        """Parse a WQE from bytes or a memoryview (header + SGE slots).
+
+        One pass over precomputed slices, no intermediate dict or byte
+        copies — this sits on the NIC fetch path of every simulated WR.
+        """
+        if not Struct.use_compiled:
+            return cls._decode_legacy(buf)
+        if len(buf) < WQE_SLOT_SIZE:
+            raise ValueError("buffer too short for wqe at offset 0")
+        self = cls.__new__(cls)
+        (ctrl, self.laddr, self.length, self.raddr, self.flags,
+         self.operand0, self.operand1, self.wqe_count, self.target,
+         _num_slots, num_sge, self.lkey,
+         self.rkey) = _unpack_header(buf, 0)
+        self.opcode = ctrl >> OPCODE_SHIFT
+        self.wr_id = ctrl & ID_MASK
+        sges: List[Sge] = []
+        self.sges = sges
+        if num_sge:
+            if num_sge > MAX_SGE:
+                raise ValueError(f"too many SGEs: {num_sge} > {MAX_SGE}")
+            base = WQE_SLOT_SIZE
+            if len(buf) >= base + 16 * num_sge:
+                for _ in range(num_sge):
+                    addr, length, lkey = _unpack_sge(buf, base)
+                    sges.append(Sge(addr, length, lkey))
+                    base += 16
+            else:
+                # Truncated buffer: slices read past the end as zeros,
+                # matching how a short DMA leaves SGE slots unwritten.
+                from_bytes = int.from_bytes
+                for _ in range(num_sge):
+                    sges.append(Sge(
+                        from_bytes(buf[base:base + 8], "big"),
+                        from_bytes(buf[base + 8:base + 12], "big"),
+                        from_bytes(buf[base + 12:base + 16], "big")))
+                    base += 16
+        return self
+
+    @classmethod
+    def _decode_legacy(cls, buf: bytes) -> "Wqe":
+        """Original dict-building decode (differential-test reference)."""
         fields = WQE_HEADER.unpack(buf, 0)
         opcode, wr_id = split_ctrl(fields["ctrl"])
         num_sge = fields["num_sge"]

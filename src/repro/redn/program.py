@@ -39,6 +39,9 @@ class ProgramError(Exception):
 class WrRef:
     """Handle to a posted WR inside a :class:`ChainQueue`."""
 
+    __slots__ = ("queue", "wr_index", "slot_cursor", "wqe", "tag",
+                 "slot_addr", "intended_opcode")
+
     def __init__(self, queue: "ChainQueue", wr_index: int,
                  slot_cursor: int, wqe: Wqe, tag: str = ""):
         self.queue = queue
@@ -46,14 +49,13 @@ class WrRef:
         self.slot_cursor = slot_cursor
         self.wqe = wqe          # the host-side template (setup-time copy)
         self.tag = tag
+        # Ring geometry is fixed at post time, so the slot address never
+        # changes; programs aim thousands of field addresses at it.
+        self.slot_addr = queue.wq.slot_addr(slot_cursor)
 
     def __repr__(self) -> str:
         return (f"<WrRef {self.queue.name}[{self.wr_index}] "
                 f"op={self.wqe.opcode:#x} tag={self.tag}>")
-
-    @property
-    def slot_addr(self) -> int:
-        return self.queue.wq.slot_addr(self.slot_cursor)
 
     def field_addr(self, field: str) -> int:
         """Host address of one WQE field — a self-modification target."""

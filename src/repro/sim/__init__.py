@@ -9,6 +9,7 @@ from .core import (
     SimulationError,
     Simulator,
     Timeout,
+    quantize_delay,
 )
 from .rand import DEFAULT_SEED, SeededStreams
 from .resources import Resource, Store, TokenBucket
@@ -27,4 +28,5 @@ __all__ = [
     "Store",
     "Timeout",
     "TokenBucket",
+    "quantize_delay",
 ]

@@ -14,17 +14,36 @@ Time is measured in **integer nanoseconds**. Using integers keeps event
 ordering exact and runs deterministic: two simulations with the same seed
 produce identical traces, which the test suite relies on heavily.
 
-The kernel is intentionally small (a binary-heap event loop plus a
-coroutine driver) and has no external dependencies. It is loosely shaped
-after SimPy's API so that readers familiar with SimPy can follow the
-device models, but it is implemented from scratch for this project.
+The kernel is intentionally small and has no external dependencies. It is
+loosely shaped after SimPy's API so that readers familiar with SimPy can
+follow the device models, but it is implemented from scratch for this
+project.
+
+Fast path
+---------
+
+The hot loop splits pending work into two queues:
+
+* a binary heap ordered by ``(time, seq)`` for callbacks scheduled in the
+  future, and
+* a FIFO "immediate" deque for callbacks scheduled *at the current time*
+  (event triggers, process starts, zero-delay timeouts).
+
+This preserves the original total order exactly. Every heap entry at time
+``T`` was necessarily pushed while ``now < T`` — once the clock reaches
+``T``, a schedule at ``T`` lands in the deque instead — so all heap
+entries at ``now`` carry sequence numbers smaller than any deque entry,
+and draining heap-at-now before the deque replays the old ``(time, seq)``
+order while sparing same-time callbacks the O(log n) heap round-trip.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 __all__ = [
     "Simulator",
@@ -35,6 +54,7 @@ __all__ = [
     "AllOf",
     "Interrupt",
     "SimulationError",
+    "quantize_delay",
 ]
 
 
@@ -54,6 +74,17 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+def quantize_delay(delay: float) -> int:
+    """Round a real-valued delay to integer nanoseconds, half-up.
+
+    :class:`Timeout` rejects non-integral delays because silent
+    truncation changes event order between runs. Timing models that
+    genuinely produce fractional nanoseconds opt in to rounding by
+    calling this explicitly.
+    """
+    return int(delay // 1) + (1 if delay % 1 >= 0.5 else 0)
+
+
 class Event:
     """A one-shot occurrence that processes can wait on.
 
@@ -64,13 +95,19 @@ class Event:
     completion semantics where a completion fires exactly once.
     """
 
+    __slots__ = ("sim", "name", "triggered", "value", "exception",
+                 "_callbacks")
+
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
         self.triggered = False
         self.value: Any = None
         self.exception: Optional[BaseException] = None
-        self._callbacks: List[Callable[["Event"], None]] = []
+        # Waiter storage is tri-state to avoid allocating a list for the
+        # ubiquitous zero/one-waiter cases: None (no waiters), a bare
+        # callable (one waiter), or a list (two or more).
+        self._callbacks: Any = None
 
     def __repr__(self) -> str:
         state = "triggered" if self.triggered else "pending"
@@ -87,7 +124,15 @@ class Event:
             raise SimulationError(f"{self!r} triggered twice")
         self.triggered = True
         self.value = value
-        self.sim._queue_callbacks(self)
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            immediate = self.sim._immediate
+            if callbacks.__class__ is list:
+                for callback in callbacks:
+                    immediate.append((callback, self))
+            else:
+                immediate.append((callbacks, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -96,7 +141,15 @@ class Event:
             raise SimulationError(f"{self!r} triggered twice")
         self.triggered = True
         self.exception = exception
-        self.sim._queue_callbacks(self)
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            immediate = self.sim._immediate
+            if callbacks.__class__ is list:
+                for callback in callbacks:
+                    immediate.append((callback, self))
+            else:
+                immediate.append((callbacks, self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -107,27 +160,84 @@ class Event:
         invariant that callbacks never run inside the caller's frame.
         """
         if self.triggered:
-            self.sim._schedule_callback(self, callback)
+            self.sim._immediate.append((callback, self))
+            return
+        callbacks = self._callbacks
+        if callbacks is None:
+            self._callbacks = callback
+        elif callbacks.__class__ is list:
+            callbacks.append(callback)
         else:
-            self._callbacks.append(callback)
+            self._callbacks = [callbacks, callback]
 
 
 class Timeout(Event):
-    """An event that triggers automatically after ``delay`` nanoseconds."""
+    """An event that triggers automatically after ``delay`` nanoseconds.
+
+    ``delay`` must be integral: integer nanoseconds are what keep runs
+    deterministic, and silently truncating a float changes event order.
+    Integral floats (``5.0``) are accepted; fractional delays raise
+    ``ValueError`` — round explicitly with :func:`quantize_delay` where a
+    timing model really produces fractions.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if type(delay) is not int:
+            if isinstance(delay, float) and delay.is_integer():
+                delay = int(delay)
+            elif isinstance(delay, int):  # bool / IntEnum
+                delay = int(delay)
+            else:
+                raise ValueError(
+                    f"non-integral timeout delay {delay!r}: simulated time "
+                    f"is integer ns; round explicitly with quantize_delay()")
         if delay < 0:
             raise ValueError(f"negative timeout: {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
-        sim.schedule_at(sim.now + int(delay), self._fire, value)
+        self.sim = sim
+        self.name = ""
+        self.triggered = False
+        self.value = None
+        self.exception = None
+        self._callbacks = None
+        self.delay = delay
+        if delay:
+            heap = sim._heap
+            heappush(heap, (sim.now + delay, next(sim._sequence),
+                            self._fire, value))
+            if len(heap) > sim._heap_peak:
+                sim._heap_peak = len(heap)
+        else:
+            sim._immediate.append((self._fire, value))
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event timeout({self.delay}) {state}>"
 
     def _fire(self, value: Any) -> None:
-        if not self.triggered:
-            self.trigger(value)
+        # Runs from the event loop itself, never inside a process frame,
+        # so waiter callbacks are safe to run synchronously — this saves
+        # a full dispatch round-trip per elapsed timeout (the single most
+        # common event in any simulation).
+        if self.triggered:
+            return
+        self.triggered = True
+        self.value = value
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            if callbacks.__class__ is list:
+                for callback in callbacks:
+                    callback(self)
+            else:
+                callbacks(self)
 
 
 class _Condition(Event):
     """Base for AnyOf/AllOf: completes based on a set of child events."""
+
+    __slots__ = ("events", "_pending")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -149,6 +259,8 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Triggers when the first of its child events triggers."""
 
+    __slots__ = ()
+
     def _child_done(self, event: Event) -> None:
         if self.triggered:
             return
@@ -160,6 +272,8 @@ class AnyOf(_Condition):
 
 class AllOf(_Condition):
     """Triggers when every child event has triggered."""
+
+    __slots__ = ()
 
     def _child_done(self, event: Event) -> None:
         if self.triggered:
@@ -183,13 +297,15 @@ class Process(Event):
     other simply by yielding the target process.
     """
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
                  name: str = ""):
         super().__init__(sim, name=name or getattr(generator, "__name__", ""))
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         # Kick off on the next kernel step at the current time.
-        sim.schedule_at(sim.now, self._resume, (None, None))
+        sim._immediate.append((self._resume, (None, None)))
 
     def __repr__(self) -> str:
         state = "done" if self.triggered else "running"
@@ -207,22 +323,21 @@ class Process(Event):
         """
         if self.triggered:
             return
-        self.sim.schedule_at(self.sim.now, self._resume,
-                             (None, Interrupt(cause)))
+        self.sim._immediate.append((self._resume, (None, Interrupt(cause))))
 
     def _resume(self, payload) -> None:
-        send_value, throw_exc = payload
         if self.triggered:
             return
+        send_value, throw_exc = payload
         self._waiting_on = None
+        self._step(send_value, throw_exc)
+
+    def _step(self, send_value, throw_exc) -> None:
         try:
-            if throw_exc is not None:
-                target = self._generator.throw(throw_exc)
-            else:
+            if throw_exc is None:
                 target = self._generator.send(send_value)
-            if not isinstance(target, Event):
-                raise SimulationError(
-                    f"process {self.name} yielded {target!r}, not an Event")
+            else:
+                target = self._generator.throw(throw_exc)
         except StopIteration as stop:
             self.trigger(stop.value)
             return
@@ -238,7 +353,25 @@ class Process(Event):
             self.fail(exc)
             self.sim.failed_processes.append(self)
             return
-        self._wait_on(target)
+        if isinstance(target, Event):
+            # Inlined _wait_on/add_callback: this is the hottest edge in
+            # the kernel (every yield of every process lands here).
+            self._waiting_on = target
+            if target.triggered:
+                self.sim._immediate.append((self._on_event, target))
+            else:
+                callbacks = target._callbacks
+                if callbacks is None:
+                    target._callbacks = self._on_event
+                elif callbacks.__class__ is list:
+                    callbacks.append(self._on_event)
+                else:
+                    target._callbacks = [callbacks, self._on_event]
+        else:
+            exc = SimulationError(
+                f"process {self.name} yielded {target!r}, not an Event")
+            self.fail(exc)
+            self.sim.failed_processes.append(self)
 
     def _wait_on(self, target: Event) -> None:
         self._waiting_on = target
@@ -251,25 +384,33 @@ class Process(Event):
             # A stale callback from an event we abandoned (e.g. after an
             # interrupt re-targeted the process). Ignore it.
             return
-        if event.exception is not None:
-            self._resume((None, event.exception))
+        self._waiting_on = None
+        exception = event.exception
+        if exception is None:
+            self._step(event.value, None)
         else:
-            self._resume((event.value, None))
+            self._step(None, exception)
 
 
 class Simulator:
-    """The event loop: a time-ordered heap of callbacks.
+    """The event loop: a time-ordered heap plus an immediate deque.
 
-    Determinism: ties in time are broken by insertion order (a
-    monotonically increasing sequence number), so runs are exactly
+    Determinism: ties in time are broken by insertion order. Future
+    callbacks carry a monotonically increasing sequence number on the
+    heap; same-time callbacks go to a FIFO deque which is drained after
+    the heap entries already pending at the current time (those are
+    always older — see the module docstring), so runs are exactly
     reproducible.
     """
 
     def __init__(self):
         self.now: int = 0
         self._heap: List = []
+        self._immediate: deque = deque()
         self._sequence = itertools.count()
         self._processes_started = 0
+        self._events_executed = 0
+        self._heap_peak = 0
         #: Processes that died with an unhandled exception. Inspect (or
         #: assert empty) in tests — failures never crash the kernel.
         self.failed_processes: List["Process"] = []
@@ -278,19 +419,32 @@ class Simulator:
 
     def schedule_at(self, time: int, callback: Callable, payload: Any) -> None:
         """Run ``callback(payload)`` at simulated ``time`` (ns)."""
-        if time < self.now:
+        now = self.now
+        if time == now:
+            self._immediate.append((callback, payload))
+            return
+        if time < now:
             raise SimulationError(
                 f"cannot schedule at {time} < now {self.now}")
-        heapq.heappush(self._heap, (int(time), next(self._sequence),
-                                    callback, payload))
+        heap = self._heap
+        heapq.heappush(heap, (int(time), next(self._sequence),
+                              callback, payload))
+        if len(heap) > self._heap_peak:
+            self._heap_peak = len(heap)
 
     def _queue_callbacks(self, event: Event) -> None:
-        callbacks, event._callbacks = event._callbacks, []
-        for callback in callbacks:
-            self.schedule_at(self.now, callback, event)
+        callbacks, event._callbacks = event._callbacks, None
+        if callbacks is None:
+            return
+        immediate = self._immediate
+        if callbacks.__class__ is list:
+            for callback in callbacks:
+                immediate.append((callback, event))
+        else:
+            immediate.append((callbacks, event))
 
     def _schedule_callback(self, event: Event, callback: Callable) -> None:
-        self.schedule_at(self.now, callback, event)
+        self._immediate.append((callback, event))
 
     # -- factories -------------------------------------------------------
 
@@ -310,32 +464,93 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Kernel counters for the perf harness (and determinism checks).
+
+        ``events_executed`` counts every callback the loop ran,
+        ``heap_peak`` is the maximum length the future-event heap ever
+        reached, ``processes_started`` counts :meth:`process` calls.
+        """
+        return {
+            "events_executed": self._events_executed,
+            "heap_peak": self._heap_peak,
+            "processes_started": self._processes_started,
+        }
+
     # -- execution -------------------------------------------------------
 
     def step(self) -> None:
         """Execute the earliest pending callback, advancing time."""
-        time, _seq, callback, payload = heapq.heappop(self._heap)
-        self.now = time
-        callback(payload)
+        heap = self._heap
+        if heap and (not self._immediate or heap[0][0] == self.now):
+            time, _seq, callback, payload = heapq.heappop(heap)
+            self.now = time
+            callback(payload)
+        else:
+            callback, payload = self._immediate.popleft()
+            callback(payload)
+        self._events_executed += 1
 
     def run(self, until: Optional[int] = None,
             max_events: int = 100_000_000) -> int:
-        """Run until the heap drains or simulated time passes ``until``.
+        """Run until the queues drain or simulated time passes ``until``.
 
         Returns the simulation time at exit. ``max_events`` guards
         against accidental non-termination in tests (RedN programs are,
         after all, Turing complete).
         """
+        heap = self._heap
+        immediate = self._immediate
+        heappop_ = heappop
+        popleft = immediate.popleft
         executed = 0
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                self.now = until
-                break
-            if executed >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at t={self.now}")
-            self.step()
-            executed += 1
+        # Rare: resuming with heap entries already at the current time
+        # (after step() or a max_events abort). They predate everything
+        # in the deque, so prepend them in (time, seq) order.
+        if heap and heap[0][0] == self.now:
+            stale = []
+            while heap and heap[0][0] == self.now:
+                entry = heappop_(heap)
+                stale.append((entry[2], entry[3]))
+            immediate.extendleft(reversed(stale))
+        try:
+            while True:
+                # Same-time callbacks: the common case, dispatched with
+                # no heap consultation at all.
+                while immediate:
+                    if executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} "
+                            f"at t={self.now}")
+                    callback, payload = popleft()
+                    callback(payload)
+                    executed += 1
+                if not heap:
+                    break
+                time = heap[0][0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                self.now = time
+                # Drain every heap entry at `time` before returning to
+                # the deque: they were all pushed while now < time, so
+                # they predate anything a callback appends now, and no
+                # new heap entry can land at the current time.
+                while True:
+                    if executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} "
+                            f"at t={self.now}")
+                    _t, _seq, callback, payload = heappop_(heap)
+                    callback(payload)
+                    executed += 1
+                    if not heap or heap[0][0] != time:
+                        break
+        finally:
+            self._events_executed += executed
         return self.now
 
     def run_process(self, generator: ProcessGenerator,

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Generator, Optional
 
-from .core import Event, Simulator
+from .core import Event, Simulator, Timeout
 
 __all__ = ["Resource", "Store", "TokenBucket"]
 
@@ -39,6 +39,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._event_name = f"acquire:{name}"
         self.in_use = 0
         self._waiters: Deque[Event] = deque()
         self._outstanding = set()
@@ -54,13 +55,25 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that triggers (with a token) once a slot frees."""
-        event = self.sim.event(name=f"acquire:{self.name}")
+        event = Event(self.sim, self._event_name)
         if self.in_use < self.capacity:
             self.in_use += 1
             event.trigger(self._new_grant())
         else:
             self._waiters.append(event)
         return event
+
+    def try_acquire(self) -> Optional[int]:
+        """Claim a slot synchronously if one is free; else None.
+
+        The claim happens at exactly the same schedule point acquire()
+        would claim it — only the triggered-event dispatch round-trip is
+        skipped. Contended callers must fall back to acquire().
+        """
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            return self._new_grant()
+        return None
 
     def release(self, grant: int) -> None:
         if grant not in self._outstanding:
@@ -74,9 +87,25 @@ class Resource:
 
     def use(self, duration: int) -> Generator[Event, Any, None]:
         """Process helper: hold one slot for ``duration`` nanoseconds."""
+        if self.in_use < self.capacity and not self._waiters:
+            # Uncontended fast path: claim the slot synchronously and
+            # skip the acquire event plus its grant bookkeeping — one
+            # less dispatch round-trip per hold. The slot is claimed at
+            # exactly the same point in the schedule as acquire() would
+            # claim it, so FIFO fairness is unchanged.
+            self.in_use += 1
+            try:
+                yield Timeout(self.sim, duration)
+            finally:
+                if self._waiters:
+                    waiter = self._waiters.popleft()
+                    waiter.trigger(self._new_grant())
+                else:
+                    self.in_use -= 1
+            return
         grant = yield self.acquire()
         try:
-            yield self.sim.timeout(duration)
+            yield Timeout(self.sim, duration)
         finally:
             self.release(grant)
 
@@ -92,6 +121,7 @@ class Store:
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
         self.name = name
+        self._event_name = f"get:{name}"
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
 
@@ -106,7 +136,7 @@ class Store:
 
     def get(self) -> Event:
         """Return an event that triggers with the next item."""
-        event = self.sim.event(name=f"get:{self.name}")
+        event = Event(self.sim, self._event_name)
         if self._items:
             event.trigger(self._items.popleft())
         else:
@@ -162,4 +192,4 @@ class TokenBucket:
                 return
             deficit = cost - self._tokens
             wait_ns = int(deficit * 1e9 / self.rate_per_sec) + 1
-            yield self.sim.timeout(wait_ns)
+            yield Timeout(self.sim, wait_ns)

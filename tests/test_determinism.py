@@ -1,0 +1,110 @@
+"""Double-run determinism tests: same build -> bit-identical execution.
+
+The perf fast paths (drain-at-advance kernel loop, synchronous resource
+claims, compiled WQE codecs, the decode cache) are only admissible
+because they preserve the simulator's deterministic schedule. These
+tests build full-stack scenarios twice from scratch and require the two
+runs to agree on final simulation time, the exact CQE sequence (queue,
+wr_id, opcode, status, timestamp), and the kernel's executed-event
+count — any fast path that reorders work trips at least one of them.
+"""
+
+from repro.bench import Testbed
+from repro.datastructs import LinkedList, SlabStore
+from repro.offloads.list_traversal import ListTraversalOffload
+from repro.redn import RednContext
+from repro.redn.offload import OffloadClient, OffloadConnection
+from repro.redn.turing import BINARY_INCREMENT, NicTuringMachine
+
+
+def _record_cqes(nic, log):
+    """Tap every CQ on ``nic``, appending one tuple per completion."""
+    for cq in nic.cqs.values():
+        original = cq.post_completion
+
+        def tapped(cqe, host_delay_ns=0, _orig=original, _cq=cq):
+            log.append((_cq.cq_num, cqe.wr_id, cqe.opcode, cqe.status,
+                        cqe.timestamp))
+            _orig(cqe, host_delay_ns=host_delay_ns)
+
+        cq.post_completion = tapped
+
+
+def _run_turing_machine():
+    bed = Testbed(num_clients=0)
+    process = bed.server.spawn_process("turing")
+    ctx = RednContext(bed.server.nic, process.create_pd(),
+                      process=process, name="tmdet")
+    machine = NicTuringMachine(ctx, BINARY_INCREMENT, name="tmdet")
+    machine.load_tape(["1", "1", "0", "1"])
+    cqes = []
+    _record_cqes(bed.server.nic, cqes)
+    steps = bed.run(machine.run(max_steps=300))
+    return {
+        "steps": steps,
+        "tape": machine.read_tape(-2, 10),
+        "sim_now": bed.sim.now,
+        "events": bed.sim.stats["events_executed"],
+        "cqes": tuple(cqes),
+    }
+
+
+def _run_list_traversal(calls=12, list_size=6):
+    bed = Testbed(num_clients=1)
+    proc = bed.server.spawn_process("list-server")
+    pd = proc.create_pd()
+    slab_alloc = proc.alloc(1 << 20, label="slab")
+    node_alloc = proc.alloc(64 * 1024, label="nodes")
+    data_mr = pd.register(node_alloc)
+    pd.register(slab_alloc)
+    slab = SlabStore(bed.server.memory, slab_alloc)
+    lst = LinkedList(bed.server.memory, node_alloc, slab)
+    keys = [0x100 + index for index in range(list_size)]
+    for key in keys:
+        lst.append(key, bytes([key & 0xFF]) * 64)
+    ctx = RednContext(bed.server.nic, pd, process=proc)
+    conn = OffloadConnection(ctx, bed.clients[0].nic, bed.client_pd(0),
+                             name="det13")
+    offload = ListTraversalOffload(ctx, lst, data_mr, conn,
+                                   max_nodes=list_size, use_break=False)
+    client = OffloadClient(conn, bed.client_verbs(0))
+    cqes = []
+    _record_cqes(bed.server.nic, cqes)
+    _record_cqes(bed.clients[0].nic, cqes)
+
+    def scenario():
+        latencies = []
+        for index in range(calls):
+            if index % 8 == 0:
+                offload.post_instances(min(8, calls - index))
+            key = keys[index % list_size]
+            result = yield from client.call(offload.payload_for(key),
+                                            timeout_ns=60_000_000)
+            assert result.ok
+            latencies.append(result.latency_ns)
+            yield bed.sim.timeout(60_000)
+        return latencies
+
+    latencies = bed.run(scenario())
+    return {
+        "latencies": tuple(latencies),
+        "sim_now": bed.sim.now,
+        "events": bed.sim.stats["events_executed"],
+        "cqes": tuple(cqes),
+    }
+
+
+class TestDoubleRunDeterminism:
+    def test_turing_machine_replays_identically(self):
+        first = _run_turing_machine()
+        second = _run_turing_machine()
+        assert first == second
+        assert first["steps"] > 0
+        assert first["cqes"], "scenario produced no completions to compare"
+
+    def test_list_traversal_offload_replays_identically(self):
+        first = _run_list_traversal()
+        second = _run_list_traversal()
+        assert first == second
+        assert len(first["latencies"]) == 12
+        assert first["cqes"], "scenario produced no completions to compare"

@@ -92,6 +92,48 @@ class TestHostMemory:
         with pytest.raises(MemoryError_):
             memory.alloc(1 << 20)
 
+    def test_negative_length_rejected(self):
+        memory = HostMemory(size=1 << 20)
+        allocation = memory.alloc(64)
+        with pytest.raises(MemoryError_, match="negative access length"):
+            memory.read(allocation.addr, -1)
+        with pytest.raises(MemoryError_, match="negative access length"):
+            memory.view(allocation.addr, -8)
+
+    def test_zero_copy_view_aliases_dram(self):
+        memory = HostMemory(size=1 << 20)
+        allocation = memory.alloc(64)
+        memory.write(allocation.addr, b"redn")
+        view = memory.view(allocation.addr, 4)
+        assert bytes(view) == b"redn"
+        # The view aliases the backing store: later writes show through.
+        memory.write(allocation.addr, b"RDMA")
+        assert bytes(view) == b"RDMA"
+
+    def test_generation_range_tracks_writes(self):
+        memory = HostMemory(size=1 << 20)
+        allocation = memory.alloc(256)
+        gen_range = memory.register_generation_range(
+            allocation.addr, 256, granularity=64)
+        assert gen_range.gens == [0, 0, 0, 0]
+
+        # A one-slot write bumps exactly the chunk it touches.
+        memory.write(allocation.addr + 64, b"\xff" * 64)
+        assert gen_range.gens == [0, 1, 0, 0]
+
+        # write_u64 straddling a chunk boundary bumps both neighbours.
+        memory.write_u64(allocation.addr + 124, 7)
+        assert gen_range.gens == [0, 2, 1, 0]
+
+        # fill() bumps every chunk it overlaps.
+        memory.fill(allocation.addr, 256)
+        assert gen_range.gens == [1, 3, 2, 1]
+
+        # Writes outside the registered range leave it untouched.
+        other = memory.alloc(64)
+        memory.write(other.addr, b"x")
+        assert gen_range.gens == [1, 3, 2, 1]
+
     def test_u64_roundtrip_big_endian(self):
         memory = HostMemory(size=1 << 20)
         allocation = memory.alloc(8)

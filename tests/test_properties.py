@@ -86,6 +86,44 @@ class TestWqeCodecProperties:
         assert len(wqe.encode()) == wqe_slots_needed(num_sge) \
             * WQE_SLOT_SIZE
 
+    @given(opcode=st.sampled_from([Opcode.NOOP, Opcode.WRITE,
+                                   Opcode.READ, Opcode.CAS,
+                                   Opcode.WAIT, Opcode.ENABLE]),
+           wr_id=u48, laddr=u64, length=u32, raddr=u64,
+           flags=u32, operand0=u64, operand1=u64, wqe_count=u32,
+           target=u16,
+           num_sge=st.integers(min_value=0, max_value=MAX_SGE))
+    @settings(max_examples=100, deadline=None)
+    def test_compiled_codec_matches_legacy(self, opcode, wr_id, laddr,
+                                           length, raddr, flags,
+                                           operand0, operand1,
+                                           wqe_count, target, num_sge):
+        # Differential check: the struct-compiled fast paths must be
+        # byte-for-byte and field-for-field identical to the original
+        # field-table codec they replaced.
+        sges = [Sge(0x2000 + 32 * index, 4 + index, lkey=index * 3)
+                for index in range(num_sge)]
+        wqe = Wqe(opcode=opcode, wr_id=wr_id, laddr=laddr,
+                  length=length, raddr=raddr, flags=flags,
+                  operand0=operand0, operand1=operand1,
+                  wqe_count=wqe_count, target=target, sges=sges)
+        fast_bytes = bytes(wqe.encode())
+        assert fast_bytes == bytes(wqe._encode_checked())
+
+        fast = Wqe.decode(fast_bytes)
+        legacy = Wqe._decode_legacy(fast_bytes)
+        Struct.use_compiled = False
+        try:
+            legacy_struct = Wqe._decode_legacy(fast_bytes)
+        finally:
+            Struct.use_compiled = True
+        for attr in ("opcode", "wr_id", "laddr", "length", "raddr",
+                     "flags", "operand0", "operand1", "wqe_count",
+                     "target", "sges"):
+            value = getattr(fast, attr)
+            assert value == getattr(legacy, attr), attr
+            assert value == getattr(legacy_struct, attr), attr
+
 
 class TestMemoryProperties:
     @given(st.binary(min_size=1, max_size=256), addr)

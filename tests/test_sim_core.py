@@ -12,6 +12,7 @@ from repro.sim import (
     Simulator,
     Store,
     TokenBucket,
+    quantize_delay,
 )
 
 
@@ -350,3 +351,66 @@ class TestTokenBucket:
         proc = sim.process(worker())
         sim.run()
         assert isinstance(proc.exception, ValueError)
+
+
+class TestDelayQuantization:
+    def test_fractional_delay_rejected(self, sim):
+        with pytest.raises(ValueError, match="quantize_delay"):
+            sim.timeout(1.5)
+
+    def test_integral_float_accepted(self, sim):
+        def proc():
+            yield sim.timeout(5.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 5
+
+    def test_bool_and_intlike_accepted(self, sim):
+        def proc():
+            yield sim.timeout(True)
+            return sim.now
+
+        assert sim.run_process(proc()) == 1
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError, match="negative timeout"):
+            sim.timeout(-1)
+
+    def test_quantize_delay_rounds_half_up(self):
+        assert quantize_delay(1.4) == 1
+        assert quantize_delay(1.5) == 2
+        assert quantize_delay(2.5) == 3
+        assert quantize_delay(0.0) == 0
+        assert quantize_delay(7) == 7
+
+
+class TestSimulatorStats:
+    def test_counters_track_activity(self, sim):
+        def child():
+            yield sim.timeout(5)
+
+        def parent():
+            yield sim.timeout(10)
+            yield sim.process(child())
+
+        sim.run_process(parent())
+        stats = sim.stats
+        assert stats["processes_started"] == 2
+        assert stats["events_executed"] > 0
+        assert stats["heap_peak"] >= 1
+
+    def test_stats_are_deterministic(self):
+        def scenario():
+            sim = Simulator()
+            resource = Resource(sim, capacity=2)
+
+            def worker(duration):
+                yield from resource.use(duration)
+                yield sim.timeout(duration)
+
+            for index in range(8):
+                sim.process(worker(10 + index))
+            sim.run()
+            return (sim.now, sim.stats)
+
+        assert scenario() == scenario()

@@ -1,0 +1,264 @@
+#!/usr/bin/env python
+"""Simulator wall-clock speed smoke test.
+
+Replays two canonical workloads through the full stack and measures how
+many kernel events per CPU-second the simulator sustains:
+
+* ``fig13_list_traversal`` — RedN list-traversal offload calls over a
+  client connection (the Fig 13 scenario): managed-queue fetches,
+  self-modifying WQE chains, WAIT/ENABLE ordering.
+* ``table3_flood`` — ib_write_bw-style WRITE and CAS floods across 8
+  QPs (the Table 3 scenario): batch prefetch, pipelined completions,
+  atomic serialization.
+
+Methodology: the testbed build (allocating the 256 MB simulated DRAM
+dominates setup) is excluded; only the simulation run phase is timed,
+with the GC disabled, using ``time.process_time`` so a loaded machine
+does not skew results. Each workload runs ``--reps`` times and the best
+rep counts.
+
+Usage:
+
+    PYTHONPATH=src python tools/perf_smoke.py            # compare
+    PYTHONPATH=src python tools/perf_smoke.py --update-baseline
+
+The committed baseline lives in ``BENCH_simspeed.json`` at the repo
+root. Exit status:
+
+* 0 — within tolerance of the baseline (or baseline just [re]written),
+* 1 — events/sec regressed more than 30% on any workload,
+* 2 — determinism fingerprint drifted (simulated results changed —
+  that is a correctness bug, not a perf problem).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+BASELINE_PATH = REPO_ROOT / "BENCH_simspeed.json"
+REGRESSION_TOLERANCE = 0.30
+
+LIST_SIZE = 8
+VALUE_SIZE = 64
+
+
+def _build_fig13(calls: int = 48):
+    """Fig 13 replay: list-traversal offload calls over one client."""
+    from repro.bench import Testbed
+    from repro.datastructs import LinkedList, SlabStore
+    from repro.offloads.list_traversal import ListTraversalOffload
+    from repro.redn import RednContext
+    from repro.redn.offload import OffloadClient, OffloadConnection
+
+    bed = Testbed(num_clients=1)
+    proc = bed.server.spawn_process("list-server")
+    pd = proc.create_pd()
+    slab_alloc = proc.alloc(4 * 1024 * 1024, label="slab")
+    node_alloc = proc.alloc(64 * 1024, label="nodes")
+    data_mr = pd.register(node_alloc)
+    pd.register(slab_alloc)
+    slab = SlabStore(bed.server.memory, slab_alloc)
+    lst = LinkedList(bed.server.memory, node_alloc, slab)
+    keys = [0x100 + i for i in range(LIST_SIZE)]
+    for key in keys:
+        lst.append(key, bytes([key & 0xFF]) * VALUE_SIZE)
+    ctx = RednContext(bed.server.nic, pd, process=proc)
+    conn = OffloadConnection(ctx, bed.clients[0].nic, bed.client_pd(0),
+                             name="ps13")
+    offload = ListTraversalOffload(ctx, lst, data_mr, conn,
+                                   max_nodes=LIST_SIZE, use_break=False)
+    client = OffloadClient(conn, bed.client_verbs(0))
+    call_keys = [keys[i % LIST_SIZE] for i in range(calls)]
+
+    def scenario():
+        latencies = []
+        for index, key in enumerate(call_keys):
+            if index % 8 == 0:
+                # The plain-variant worker ring holds ~16 pre-posted
+                # instances; replenish in batches as calls consume them.
+                offload.post_instances(min(8, len(call_keys) - index))
+            result = yield from client.call(offload.payload_for(key),
+                                            timeout_ns=60_000_000)
+            assert result.ok
+            latencies.append(result.latency_ns)
+            yield bed.sim.timeout(60_000)
+        return latencies
+
+    def run():
+        latencies = bed.run(scenario())
+        return {
+            "sim_time_ns": bed.sim.now,
+            "latency_sum_ns": sum(latencies),
+            "calls": len(latencies),
+        }
+
+    return bed.sim, run
+
+
+def _build_table3(qps_n: int = 8, ops_per_qp: int = 512, wave: int = 256):
+    """Table 3 replay: WRITE then CAS floods across ``qps_n`` QPs."""
+    from repro.bench import Testbed
+    from repro.ibv import wr_cas, wr_write
+
+    bed = Testbed(num_clients=1)
+    proc = bed.server.spawn_process("sink")
+    pd = proc.create_pd()
+    sink = proc.alloc(4096, label="sink")
+    sink_mr = pd.register(sink)
+    qps = []
+    for index in range(qps_n):
+        server_qp = proc.create_qp(pd, name=f"ps3s{index}")
+        client_qp = bed.clients[0].nic.create_qp(
+            bed.client_pd(0), send_slots=512, name=f"ps3c{index}")
+        server_qp.connect(client_qp)
+        qps.append(client_qp)
+    src = bed.clients[0].memory.alloc(64, owner="client")
+    sim = bed.sim
+    waves = max(1, ops_per_qp // wave)
+
+    def make_write():
+        return wr_write(src.addr, 64, sink.addr, sink_mr.rkey,
+                        signaled=False)
+
+    def make_cas():
+        return wr_cas(sink.addr, sink_mr.rkey, 0, 1, signaled=False)
+
+    def flood(qp, make_wqe):
+        for _ in range(waves):
+            base = qp.send_wq.cq.count
+            for index in range(wave):
+                wqe = make_wqe()
+                if index == wave - 1:
+                    wqe.flags |= 0x1
+                else:
+                    wqe.flags &= ~0x1
+                qp.post_send(wqe)
+            yield qp.send_wq.cq.wait_for_count(base + 1)
+
+    def phase(make_wqe):
+        start = sim.now
+        procs = [sim.process(flood(qp, make_wqe), name=f"flood{i}")
+                 for i, qp in enumerate(qps)]
+        for p in procs:
+            if not p.triggered:
+                yield p
+        total = qps_n * waves * wave
+        return total / ((sim.now - start) / 1e9)
+
+    def run():
+        write_rate = bed.run(phase(make_write))
+        cas_rate = bed.run(phase(make_cas))
+        return {
+            "sim_time_ns": sim.now,
+            "write_mops": round(write_rate / 1e6, 3),
+            "cas_mops": round(cas_rate / 1e6, 3),
+        }
+
+    return sim, run
+
+
+WORKLOADS = {
+    "fig13_list_traversal": _build_fig13,
+    "table3_flood": _build_table3,
+}
+
+
+def run_workload(name: str, reps: int = 3):
+    """Measure one workload; returns a result dict for the baseline.
+
+    The scenario is rebuilt for every rep (setup excluded from timing);
+    the best rep's CPU time counts. Fingerprints must agree across reps
+    — same-process nondeterminism would already be a bug.
+    """
+    build = WORKLOADS[name]
+    best_cpu = None
+    events = None
+    fingerprint = None
+    for _ in range(reps):
+        sim, run = build()
+        events_before = sim.stats["events_executed"]
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.process_time()
+            result = run()
+            cpu = time.process_time() - start
+        finally:
+            gc.enable()
+        rep_events = sim.stats["events_executed"] - events_before
+        if fingerprint is None:
+            fingerprint, events = result, rep_events
+        elif (result, rep_events) != (fingerprint, events):
+            raise AssertionError(
+                f"{name}: nondeterministic across reps: "
+                f"{(result, rep_events)} != {(fingerprint, events)}")
+        if best_cpu is None or cpu < best_cpu:
+            best_cpu = cpu
+    return {
+        "events": events,
+        "cpu_seconds": round(best_cpu, 4),
+        "events_per_sec": round(events / best_cpu) if best_cpu else 0,
+        "fingerprint": fingerprint,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite BENCH_simspeed.json with this run")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="reps per workload (best counts, default 3)")
+    args = parser.parse_args(argv)
+
+    results = {}
+    for name in WORKLOADS:
+        results[name] = run_workload(name, reps=args.reps)
+        r = results[name]
+        print(f"{name:24s} {r['events_per_sec']:>10,d} events/s "
+              f"({r['events']} events in {r['cpu_seconds']:.3f}s CPU)")
+
+    if args.update_baseline or not BASELINE_PATH.exists():
+        payload = {"schema": 1, "workloads": results}
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2,
+                                            sort_keys=True) + "\n")
+        action = "updated" if args.update_baseline else "created"
+        print(f"baseline {action}: {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())["workloads"]
+    status = 0
+    for name, result in results.items():
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name}: not in baseline (run --update-baseline)")
+            continue
+        if result["fingerprint"] != base["fingerprint"]:
+            print(f"{name}: DETERMINISM DRIFT — simulated results "
+                  f"changed:\n  baseline: {base['fingerprint']}\n"
+                  f"  current:  {result['fingerprint']}")
+            status = 2
+            continue
+        floor = base["events_per_sec"] * (1 - REGRESSION_TOLERANCE)
+        ratio = result["events_per_sec"] / base["events_per_sec"]
+        if result["events_per_sec"] < floor:
+            print(f"{name}: REGRESSION — {result['events_per_sec']:,d} "
+                  f"events/s is {ratio:.2f}x of baseline "
+                  f"{base['events_per_sec']:,d}")
+            status = max(status, 1)
+        else:
+            print(f"{name}: ok ({ratio:.2f}x of baseline)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
