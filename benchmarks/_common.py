@@ -12,11 +12,54 @@ Every benchmark follows the same pattern:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+import os
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.bench import Testbed, render_table
+from repro.bench import Testbed as _BaseTestbed
+from repro.bench import render_table
 
-__all__ = ["run_once", "print_comparison", "Testbed", "within_factor"]
+__all__ = ["run_once", "print_comparison", "Testbed", "within_factor",
+           "set_trace_output", "flush_trace"]
+
+# -- optional tracing (pytest --trace OUT.json / REPRO_TRACE=OUT.json) ----
+
+#: Where to write the merged Chrome trace, or None for tracing off.
+TRACE_PATH: Optional[str] = os.environ.get("REPRO_TRACE") or None
+_tracers: List = []
+
+
+def set_trace_output(path: Optional[str]) -> None:
+    """Enable tracing for every Testbed built after this call."""
+    global TRACE_PATH
+    TRACE_PATH = path
+
+
+def flush_trace() -> Optional[str]:
+    """Merge and write all recorded traces; returns the path written."""
+    global _tracers
+    if not TRACE_PATH or not _tracers:
+        return None
+    from repro.obs import export_merged_chrome
+    count = export_merged_chrome(_tracers, TRACE_PATH)
+    for tracer in _tracers:
+        tracer.close()
+    _tracers = []
+    print(f"\n[trace] wrote {count} events to {TRACE_PATH}")
+    return TRACE_PATH
+
+
+class Testbed(_BaseTestbed):
+    """The paper testbed, plus a per-bed tracer when --trace is on."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        if TRACE_PATH:
+            from repro.obs import Tracer
+            tracer = Tracer(self.sim, name=f"bed{len(_tracers)}")
+            tracer.attach_nic(self.server.nic)
+            for client in self.clients:
+                tracer.attach_nic(client.nic)
+            _tracers.append(tracer)
 
 
 def run_once(benchmark, fn: Callable[[], Dict]) -> Dict:

@@ -1,0 +1,34 @@
+"""Benchmark-suite options: ``--trace-out OUT.json``.
+
+Running any benchmark with ``--trace-out`` attaches a
+:class:`repro.obs.Tracer` to every :class:`Testbed` the benchmark
+builds and writes one merged Chrome trace-event JSON at session end —
+load it at https://ui.perfetto.dev or feed it to
+``tools/trace_inspect.py``. The ``REPRO_TRACE`` environment variable
+is an equivalent knob for non-pytest entry points. (The bare
+``--trace`` spelling is taken by pytest's built-in debugger hook.)
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import _common  # noqa: E402
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out", default=None, metavar="OUT.json",
+        help="record a Chrome/Perfetto trace of every simulated NIC "
+             "to this file")
+
+
+def pytest_configure(config):
+    path = config.getoption("--trace-out", default=None)
+    if path:
+        _common.set_trace_output(path)
+
+
+def pytest_unconfigure(config):
+    _common.flush_trace()

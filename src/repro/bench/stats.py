@@ -11,7 +11,10 @@ __all__ = ["LatencyRecorder", "percentile", "summarize"]
 def percentile(samples: Sequence[float], fraction: float) -> float:
     """Nearest-rank percentile (0 < fraction <= 1)."""
     if not samples:
-        raise ValueError("no samples")
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(
+            f"percentile fraction {fraction} outside (0, 1]")
     ordered = sorted(samples)
     rank = max(0, min(len(ordered) - 1,
                       math.ceil(fraction * len(ordered)) - 1))
@@ -47,6 +50,8 @@ class LatencyRecorder:
 
     @property
     def avg_us(self) -> float:
+        if not self.samples:
+            raise ValueError(f"recorder {self.name!r} has no samples")
         return sum(self.samples) / len(self.samples) / 1000.0
 
     @property

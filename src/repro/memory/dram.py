@@ -109,6 +109,12 @@ class HostMemory:
         # come from disjoint allocations).
         self._gen_starts: List[int] = []
         self._gen_ranges: List[GenerationRange] = []
+        #: Store observer installed by an attached repro.obs tracer:
+        #: called as hook(addr, length) after generations are bumped.
+        #: None (one pointer check per tracked write) when tracing is
+        #: off — the tracer-side join against fetch snapshots is what
+        #: turns these callbacks into race reports.
+        self._trace_hook = None
 
     def __repr__(self) -> str:
         return (f"<HostMemory {self.name} used="
@@ -141,6 +147,8 @@ class HostMemory:
             [_POISON]) * allocation.size
         if self._gen_starts:
             self._bump_gens(allocation.addr, allocation.end)
+            if self._trace_hook is not None:
+                self._trace_hook(allocation.addr, allocation.size)
 
     def allocations_owned_by(self, owner: str) -> List[Allocation]:
         return [a for a in self._allocations
@@ -234,6 +242,8 @@ class HostMemory:
         self._bytes[addr:addr + length] = data
         if self._gen_starts:
             self._bump_gens(addr, addr + length)
+            if self._trace_hook is not None:
+                self._trace_hook(addr, length)
 
     def read_uint(self, addr: int, width: int) -> int:
         self._check(addr, width)
@@ -259,12 +269,16 @@ class HostMemory:
                 f"value {value:#x} does not fit in 8 bytes") from None
         if self._gen_starts:
             self._bump_gens(addr, addr + 8)
+            if self._trace_hook is not None:
+                self._trace_hook(addr, 8)
 
     def fill(self, addr: int, length: int, byte: int = 0) -> None:
         self._check(addr, length)
         self._bytes[addr:addr + length] = bytes([byte]) * length
         if self._gen_starts:
             self._bump_gens(addr, addr + length)
+            if self._trace_hook is not None:
+                self._trace_hook(addr, length)
 
     def compare_and_swap_u64(self, addr: int, expected: int,
                              desired: int) -> int:

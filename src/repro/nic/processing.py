@@ -22,9 +22,9 @@ the behavioural core of the reproduction:
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import List, Optional, Tuple, TYPE_CHECKING
 
+from .. import obs as _obs
 from ..memory.dram import MemoryError_
 from ..memory.region import ProtectionError
 from ..sim.core import Event, Timeout
@@ -44,7 +44,12 @@ class SendQueueDriver:
     def __init__(self, nic: "RNIC", wq: WorkQueue):
         self.nic = nic
         self.wq = wq
-        self.stats: Counter = Counter()
+        # Fetch-path counters live in the simulator's MetricsRegistry so
+        # one snapshot covers every driver (satellite of the obs PR);
+        # the returned object is a plain Counter — hot-path cost is
+        # identical to the old private Counter.
+        self.stats = nic.sim.metrics.counter(
+            f"nic.{nic.name}.wq.{wq.name}.fetch")
         self._prev_completion: Event = nic.sim.event()
         self._prev_completion.trigger(None)
         self.process = None
@@ -89,10 +94,12 @@ class SendQueueDriver:
             grant = engine.try_acquire()
             if grant is None:
                 grant = yield engine.acquire()
+            fetch_start = sim.now
             yield Timeout(sim, timing.wqe_fetch_ns)
             if wq.destroyed:
                 engine.release(grant)
                 return []
+            cursor = wq._fetch_slot_cursor
             wqe, slots = wq.read_wqe_at_cursor()
             wr_index = wq.fetched_count
             wq.advance_fetch(slots)
@@ -105,12 +112,19 @@ class SendQueueDriver:
             else:
                 engine.release(grant)
             self.stats["fetch_managed"] += 1
+            if _obs.enabled:
+                tracer = sim.tracer
+                if tracer is not None:
+                    tracer.fetch_span(self.nic, wq, fetch_start, 1, True)
+                    tracer.wqe_fetched(wq, wr_index, cursor, slots, wqe,
+                                       wq._last_decode_cached)
             return [(wqe, wr_index)]
 
         count = min(wq.fetchable, timing.prefetch_batch)
         grant = engine.try_acquire()
         if grant is None:
             grant = yield engine.acquire()
+        fetch_start = sim.now
         hold = timing.batch_fetch_hold_per_wqe_ns * count
         if hold:
             yield Timeout(sim, hold)
@@ -120,16 +134,26 @@ class SendQueueDriver:
             yield Timeout(sim, remaining)
         if wq.destroyed:
             return []
+        tracer = sim.tracer if _obs.enabled else None
+        fetch_meta = [] if tracer is not None else None
         batch = []
         for _ in range(count):
             if wq.fetchable == 0:
                 break
+            cursor = wq._fetch_slot_cursor
             wqe, slots = wq.read_wqe_at_cursor()
             wr_index = wq.fetched_count
             wq.advance_fetch(slots)
             batch.append((wqe, wr_index))
+            if fetch_meta is not None:
+                fetch_meta.append((cursor, slots, wq._last_decode_cached))
         self.stats["fetch_batches"] += 1
         self.stats["fetch_prefetched"] += len(batch)
+        if tracer is not None:
+            tracer.fetch_span(self.nic, wq, fetch_start, len(batch), False)
+            for (wqe, wr_index), (cursor, slots, cached) in zip(
+                    batch, fetch_meta):
+                tracer.wqe_fetched(wq, wr_index, cursor, slots, wqe, cached)
         return batch
 
     # -- execute path -----------------------------------------------------------
@@ -139,13 +163,20 @@ class SendQueueDriver:
         timing = self.nic.timing
         wq = self.wq
         opcode = wqe.opcode
+        exec_start = sim.now
         # Stats are keyed by opcode *name* so Counter dumps read like
         # "WRITE: 512" rather than mixing raw ints with string keys.
+        # Only the NIC-level counter bumps: it is the one canonical
+        # per-opcode count in the metrics snapshot (the driver used to
+        # keep a duplicate that could silently drift).
         op_name = OPCODE_NAMES.get(opcode, f"OP{opcode:#x}")
-        self.stats[op_name] += 1
         nic_stats = self.nic.stats
         nic_stats[op_name] += 1
         nic_stats["total_wrs"] += 1
+        if _obs.enabled:
+            tracer = sim.tracer
+            if tracer is not None:
+                tracer.execute_begin(wq, wr_index, wqe)
 
         if wq.rate_limiter is not None:
             yield from wq.rate_limiter.throttle(1.0)
@@ -157,6 +188,10 @@ class SendQueueDriver:
                 return
             yield cq.wait_for_count(wqe.wqe_count)
             yield Timeout(sim, timing.wait_check_ns)
+            if _obs.enabled:
+                tracer = sim.tracer
+                if tracer is not None:
+                    tracer.wait_span(wq, wqe, exec_start)
             self._signal_if_requested(wqe, wr_index)
             return
 
@@ -166,9 +201,12 @@ class SendQueueDriver:
             if target is None or target.destroyed:
                 self._signal(wqe, wr_index, status="BAD_ENABLE_TARGET")
                 return
-            target.enable(
-                wqe.wqe_count,
-                relative=bool(wqe.flags & WrFlags.ENABLE_RELATIVE))
+            relative = bool(wqe.flags & WrFlags.ENABLE_RELATIVE)
+            target.enable(wqe.wqe_count, relative=relative)
+            if _obs.enabled:
+                tracer = sim.tracer
+                if tracer is not None:
+                    tracer.enable_event(wq, wqe, relative)
             self._signal_if_requested(wqe, wr_index)
             return
 
@@ -178,7 +216,12 @@ class SendQueueDriver:
         pu = self._pu
         if pu is None:
             pu = self._pu = self.nic.port_of(wq).pus[wq.pu_index]
+        pu_start = sim.now
         yield from pu.use(timing.occupancy(opcode))
+        if _obs.enabled:
+            tracer = sim.tracer
+            if tracer is not None:
+                tracer.pu_span(self.nic, wq, opcode, pu_start)
 
         prev = self._prev_completion
         done = sim.event()
@@ -189,15 +232,17 @@ class SendQueueDriver:
             # neither fetched nor executed before this one completes —
             # exactly the consistency self-modifying chains need (§3.1)
             # and why "no latency-hiding is possible" in Fig 8.
-            yield from self._complete(wqe, wr_index, prev, done)
+            yield from self._complete(wqe, wr_index, prev, done, exec_start)
         else:
             # WQ ordering pipelines: the data path runs asynchronously
             # and completions chain on ``prev`` so CQEs are delivered
             # strictly in WR order.
-            sim.process(self._complete(wqe, wr_index, prev, done),
+            sim.process(self._complete(wqe, wr_index, prev, done,
+                                       exec_start),
                         name=f"op:{self.wq.name}:{wr_index}")
 
-    def _complete(self, wqe: Wqe, wr_index: int, prev: Event, done: Event):
+    def _complete(self, wqe: Wqe, wr_index: int, prev: Event, done: Event,
+                  exec_start: int):
         status, byte_len, immediate = "OK", 0, 0
         try:
             byte_len, immediate = yield from self.nic.executor.perform(
@@ -210,6 +255,11 @@ class SendQueueDriver:
             status = "QUEUE_ERROR"
         if not prev.triggered:
             yield prev
+        if _obs.enabled:
+            tracer = self.nic.sim.tracer
+            if tracer is not None:
+                tracer.wqe_executed(self.wq, wr_index, wqe, status,
+                                    exec_start)
         if wqe.signaled or status != "OK":
             self._signal(wqe, wr_index, status=status, byte_len=byte_len,
                          immediate=immediate)

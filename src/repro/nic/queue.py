@@ -29,6 +29,7 @@ import itertools
 from collections import deque
 from typing import Deque, Dict, List, Optional, TYPE_CHECKING, Tuple
 
+from .. import obs as _obs
 from ..memory.dram import Allocation, HostMemory
 from ..sim.core import Event, Simulator
 from ..sim.resources import Resource, TokenBucket
@@ -101,6 +102,10 @@ class CompletionQueue:
         if self.destroyed:
             return
         self.count += 1
+        if _obs.enabled:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.cqe(self, cqe)
         if self._watchers:
             ready = [(n, ev) for n, ev in self._watchers if self.count >= n]
             if ready:
@@ -210,6 +215,10 @@ class WorkQueue:
         self.consume_lock = Resource(sim, 1, name=f"{self.name}-consume")
         self._recv_waiters: Deque[Event] = deque()
 
+        # Observability only: whether the last read_wqe_at_cursor was
+        # served from the decode cache (read by the tracer's fetch hook).
+        self._last_decode_cached = False
+
         # PU assignment happens when the owning RNIC adopts the queue.
         self.pu_index: Optional[int] = None
         self.port_index: int = 0
@@ -236,6 +245,31 @@ class WorkQueue:
     def free_slots(self) -> int:
         consumed_slots = self._fetch_slot_cursor
         return self.num_slots - (self._post_slot_cursor - consumed_slots)
+
+    def slot_gens(self, slot_cursor: int, slots: int) -> Tuple[int, ...]:
+        """Write-generation snapshot of ``slots`` slots at ``slot_cursor``.
+
+        Observability helper (repro.obs race inspector): reads counters
+        only, never touches simulated state or time.
+        """
+        gens = self._ring_gens.gens
+        ring_slots = self.num_slots
+        return tuple(gens[(slot_cursor + offset) % ring_slots]
+                     for offset in range(slots))
+
+    def slot_state(self, slot_cursor: int,
+                   slots: int) -> Tuple[Tuple[int, ...], bytes]:
+        """(generations, raw bytes) of a WQE's slots — same helper."""
+        if slots == 1:
+            data = self.memory.read(self.slot_addr(slot_cursor),
+                                    WQE_SLOT_SIZE)
+        else:
+            buf = bytearray()
+            for offset in range(slots):
+                buf.extend(self.memory.read(
+                    self.slot_addr(slot_cursor + offset), WQE_SLOT_SIZE))
+            data = bytes(buf)
+        return self.slot_gens(slot_cursor, slots), data
 
     # -- producer (host) API ----------------------------------------------
 
@@ -270,6 +304,10 @@ class WorkQueue:
         self._post_slot_cursor = cursor + slots
         wr_index = self.posted_count
         self.posted_count += 1
+        if _obs.enabled:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.wqe_posted(self, wr_index, cursor, slots, wqe)
         if ring_doorbell is None:
             ring_doorbell = not self.managed
         if ring_doorbell:
@@ -283,6 +321,10 @@ class WorkQueue:
         part of every verb's base latency in Fig 7.
         """
         target = self.posted_count if up_to is None else up_to
+        if _obs.enabled:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.doorbell(self, target)
         if self.doorbell_delay_ns > 0:
             self.sim.schedule_at(self.sim.now + self.doorbell_delay_ns,
                                  self._raise_enabled, target)
@@ -347,6 +389,8 @@ class WorkQueue:
             # generation int; multi-slot WQEs carry a tuple.
             if wqe_slots == 1:
                 if gens[slot_index] == snapshot:
+                    if _obs.enabled:
+                        self._last_decode_cached = True
                     return wqe, 1
             else:
                 index = slot_index
@@ -357,7 +401,11 @@ class WorkQueue:
                     if index == ring_slots:
                         index = 0
                 else:
+                    if _obs.enabled:
+                        self._last_decode_cached = True
                     return wqe, wqe_slots
+        if _obs.enabled:
+            self._last_decode_cached = False
         memory = self.memory
         header_addr = self.ring.addr + slot_index * WQE_SLOT_SIZE
         header = memory.view(header_addr, WQE_SLOT_SIZE)

@@ -23,9 +23,9 @@ speedup comes from spreading chains across WQs, hence PUs.
 from __future__ import annotations
 
 import itertools
-from collections import Counter
 from typing import Callable, Dict, List, Optional
 
+from .. import obs as _obs
 from ..memory.dram import HostMemory
 from ..memory.region import ProtectionDomain
 from ..sim.core import Simulator
@@ -92,8 +92,11 @@ class RNIC:
         self.executor = VerbExecutor(self)
         # A hook the fabric layer installs: (other_nic) -> one-way ns.
         self.link_latency_fn: Optional[Callable[["RNIC"], int]] = None
-        #: WR execution counters (by opcode + "total_wrs").
-        self.stats: Counter = Counter()
+        #: WR execution counters (by opcode + "total_wrs"). Registered
+        #: in the simulator's MetricsRegistry so a metrics snapshot is
+        #: the one canonical place these counts appear; still a plain
+        #: Counter, so hot-path bumps cost what they always did.
+        self.stats = sim.metrics.counter(f"nic.{self.name}.wrs")
         self.alive = True
 
     def __repr__(self) -> str:
@@ -105,6 +108,10 @@ class RNIC:
     def create_cq(self, name: str = "") -> CompletionQueue:
         cq = CompletionQueue(self.sim, next(self._cq_nums), name=name)
         self.cqs[cq.cq_num] = cq
+        if _obs.enabled:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.cq_created(self, cq)
         return cq
 
     def create_wq(self, kind: str, num_slots: int, cq: CompletionQueue,
@@ -123,6 +130,10 @@ class RNIC:
                        if kind == "send" else 0)
         wq.doorbell_delay_ns = self.timing.doorbell_ns
         self.wqs[wq.wq_num] = wq
+        if _obs.enabled:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.wq_created(self, wq)
         if kind == "send":
             driver = SendQueueDriver(self, wq)
             self._drivers[wq.wq_num] = driver

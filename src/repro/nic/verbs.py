@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional, Tuple, TYPE_CHECKING
 
+from .. import obs as _obs
 from ..memory.region import AccessFlags, ProtectionError
 from ..sim.core import Timeout
 from .opcodes import Opcode
@@ -93,7 +94,12 @@ class VerbExecutor:
         """Initiator/responder DMA of a payload across PCIe (gather)."""
         cost = nic.timing.payload_pcie_ns(nbytes)
         if cost > 0:
+            start = nic.sim.now
             yield from nic.pcie.use(cost)
+            if _obs.enabled:
+                tracer = nic.sim.tracer
+                if tracer is not None:
+                    tracer.dma_span(nic, nbytes, start)
 
     def _scatter_bytes(self, nic: "RNIC", data: bytes,
                        sges: List[Sge], laddr: int, length: int) -> int:
@@ -252,6 +258,10 @@ class VerbExecutor:
                 wqe.raddr, wqe.operand0, wqe.operand1)
         else:
             original = rnic.memory.fetch_add_u64(wqe.raddr, wqe.operand0)
+        if _obs.enabled:
+            tracer = nic.sim.tracer
+            if tracer is not None:
+                tracer.atomic(rnic, wqe, original)
         port.atomic_unit.release(grant)
         # Remaining PCIe-atomic transaction latency happens off-unit.
         remaining = timing.atomic_pcie_ns - timing.atomic_unit_ns

@@ -1,0 +1,103 @@
+"""repro.obs — tracing and metrics for the RedN simulator.
+
+Two pieces, both zero-cost when disabled:
+
+* :class:`Tracer` (``repro.obs.tracer``) — typed span/instant events
+  keyed on *simulated* time (WQE fetch, prefetch-cache hit/stale,
+  execute, CAS apply, WAIT wakeup, ENABLE, doorbell, DMA, CQE),
+  exported as Chrome trace-event JSON loadable in Perfetto with PUs,
+  WQs, CQs and ports as tracks. The tracer also runs the
+  **self-modification race inspector** online: it joins DRAM
+  write-generation bumps against WQE fetch snapshots and flags every
+  WQE whose ring bytes changed between post and fetch (``self_mod``)
+  or between fetch and execute (``stale_wqe`` — the §3.1 prefetch
+  incoherence window).
+
+* :class:`MetricsRegistry` (``repro.obs.metrics``) — named counters,
+  gauges and sim-time histograms behind one ``snapshot()`` API. Every
+  :class:`~repro.sim.core.Simulator` owns one lazily
+  (``sim.metrics``); the RNIC and its send-queue drivers register
+  their counters there, so one snapshot covers kernel, device and
+  driver state.
+
+Fast path
+---------
+
+Instrumentation sites across the simulator are guarded by the
+module-level :data:`enabled` flag::
+
+    from .. import obs as _obs
+    ...
+    if _obs.enabled:
+        tracer = sim.tracer
+        if tracer is not None:
+            tracer.wqe_fetched(...)
+
+When no tracer exists anywhere in the process the entire cost of the
+instrumentation is one module-attribute load and a branch — the
+BENCH_simspeed perf gate runs with tracing off and is unaffected.
+Attaching a :class:`Tracer` flips the flag; detaching the last one
+clears it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "enabled",
+    "Tracer",
+    "export_merged_chrome",
+    "MetricsRegistry",
+    "Histogram",
+    "TraceData",
+    "load_trace",
+    "summarize_trace",
+    "race_report",
+    "wq_timeline",
+]
+
+#: Module-level fast-path flag: False means every instrumentation site
+#: in the simulator reduces to one attribute load and a branch.
+enabled = False
+
+_active_tracers = 0
+
+
+def _activate() -> None:
+    """Register one live tracer (flips :data:`enabled` on)."""
+    global enabled, _active_tracers
+    _active_tracers += 1
+    enabled = True
+
+
+def _deactivate() -> None:
+    """Unregister one tracer; the flag clears with the last one."""
+    global enabled, _active_tracers
+    _active_tracers = max(0, _active_tracers - 1)
+    enabled = _active_tracers > 0
+
+
+# Submodules are imported lazily so that the hot-path guard above can
+# be imported from anywhere in the package (including modules the
+# tracer itself depends on) without import cycles.
+_LAZY = {
+    "Tracer": "tracer",
+    "export_merged_chrome": "tracer",
+    "MetricsRegistry": "metrics",
+    "Histogram": "metrics",
+    "TraceData": "inspect",
+    "load_trace": "inspect",
+    "summarize_trace": "inspect",
+    "race_report": "inspect",
+    "wq_timeline": "inspect",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+    value = getattr(import_module(f".{module_name}", __name__), name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,140 @@
+"""Named counters, gauges and sim-time histograms with one snapshot API.
+
+The registry replaces the ad-hoc stats dicts that used to live on the
+kernel, the RNIC and every send-queue driver. Producers register once
+and keep bumping plain :class:`collections.Counter` objects (so the hot
+paths pay exactly what they paid before); consumers call
+:meth:`MetricsRegistry.snapshot` and get one nested, deterministic,
+JSON-serializable dict covering everything.
+
+Conventions:
+
+* **counters** — monotonically growing event counts. Registered under a
+  dotted name (``nic.server-nic.wrs``); the returned object is a plain
+  ``Counter`` so existing ``stats["WRITE"] += 1`` / ``stats.get(...)``
+  call sites keep working unchanged.
+* **gauges** — zero-argument callables sampled at snapshot time. The
+  simulation kernel registers its counters this way so the event loop
+  keeps bumping bare ints.
+* **histograms** — power-of-two bucketed distributions of simulated
+  durations (integer nanoseconds). Cheap enough for tracing-path use:
+  one ``bit_length`` and two adds per observation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Dict, List
+
+__all__ = ["MetricsRegistry", "Histogram"]
+
+
+class Histogram:
+    """Power-of-two bucketed histogram of non-negative integers (ns)."""
+
+    __slots__ = ("name", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        # Bucket b counts observations with bit_length() == b, i.e.
+        # values in [2^(b-1), 2^b); bucket 0 holds exact zeros. 64
+        # buckets cover every plausible simulated duration.
+        self.counts: List[int] = [0] * 64
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count}>"
+
+    def observe(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"negative histogram sample {value}")
+        self.counts[value.bit_length()] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def quantile(self, fraction: float) -> int:
+        """Upper bound of the bucket holding the ``fraction`` quantile."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction {fraction} outside (0, 1]")
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        rank = max(1, round(fraction * self.count))
+        seen = 0
+        for bucket, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                return (1 << bucket) - 1 if bucket else 0
+        return (1 << 63) - 1  # pragma: no cover - unreachable
+
+    def snapshot(self) -> Dict[str, Any]:
+        buckets = {}
+        for bucket, bucket_count in enumerate(self.counts):
+            if bucket_count:
+                upper = (1 << bucket) - 1 if bucket else 0
+                buckets[f"le_{upper}"] = bucket_count
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """One home for every counter/gauge/histogram of a simulation."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Callable[[], Any]] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def __repr__(self) -> str:
+        return (f"<MetricsRegistry counters={len(self._counters)} "
+                f"gauges={len(self._gauges)} "
+                f"histograms={len(self._histograms)}>")
+
+    # -- registration ----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter family (a plain Counter)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str, fn: Callable[[], Any]) -> None:
+        """Register a zero-argument callable sampled at snapshot time."""
+        self._gauges[name] = fn
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the named histogram."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    # -- consumption -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One deterministic, JSON-serializable view of everything.
+
+        Keys are sorted so that two identical runs produce identical
+        serialized snapshots (the determinism tests rely on this).
+        """
+        return {
+            "counters": {name: dict(sorted(counter.items()))
+                         for name, counter in sorted(self._counters.items())},
+            "gauges": {name: fn()
+                       for name, fn in sorted(self._gauges.items())},
+            "histograms": {name: histogram.snapshot()
+                           for name, histogram
+                           in sorted(self._histograms.items())},
+        }

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional, Tuple
 
+from .. import obs as _obs
 from ..ibv.api import VerbsContext
 from ..ibv.wr import wr_recv, wr_send
 from ..memory.region import AccessFlags, ProtectionDomain
@@ -166,8 +167,17 @@ class OffloadClient:
                     yield self.sim.timeout(self.verbs.poll_detect_ns)
                 data = memory.read(self.conn.response_addr, cqe.byte_len) \
                     if cqe.byte_len else b""
+                if _obs.enabled:
+                    tracer = self.sim.tracer
+                    if tracer is not None:
+                        tracer.offload_call(self.conn, start, True,
+                                            len(data))
                 return CallResult(True, data, cqe.immediate,
                                   self.sim.now - start)
             if deadline.triggered:
+                if _obs.enabled:
+                    tracer = self.sim.tracer
+                    if tracer is not None:
+                        tracer.offload_call(self.conn, start, False, 0)
                 return CallResult(False, latency_ns=self.sim.now - start)
             yield self.sim.any_of([cq.wait_for_event(), deadline])

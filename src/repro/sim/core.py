@@ -414,6 +414,11 @@ class Simulator:
         #: Processes that died with an unhandled exception. Inspect (or
         #: assert empty) in tests — failures never crash the kernel.
         self.failed_processes: List["Process"] = []
+        #: Attached :class:`repro.obs.Tracer`, or None. The kernel never
+        #: touches it; instrumented device models check it behind the
+        #: ``repro.obs.enabled`` module flag.
+        self.tracer = None
+        self._metrics = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -465,6 +470,27 @@ class Simulator:
         return AllOf(self, events)
 
     # -- introspection ---------------------------------------------------
+
+    @property
+    def metrics(self):
+        """This simulation's :class:`~repro.obs.MetricsRegistry`.
+
+        Created lazily (and imported lazily, keeping the kernel free of
+        package dependencies) with the kernel counters pre-registered
+        as gauges — the loop keeps bumping bare ints; the registry
+        samples them only at snapshot time.
+        """
+        registry = self._metrics
+        if registry is None:
+            from ..obs.metrics import MetricsRegistry
+            registry = self._metrics = MetricsRegistry()
+            registry.gauge("sim.now", lambda: self.now)
+            registry.gauge("sim.events_executed",
+                           lambda: self._events_executed)
+            registry.gauge("sim.heap_peak", lambda: self._heap_peak)
+            registry.gauge("sim.processes_started",
+                           lambda: self._processes_started)
+        return registry
 
     @property
     def stats(self) -> Dict[str, int]:

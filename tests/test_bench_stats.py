@@ -1,0 +1,72 @@
+"""Edge cases for repro.bench.stats: empty recorders, bad fractions."""
+
+import pytest
+
+from repro.bench.stats import LatencyRecorder, percentile, summarize
+
+
+class TestPercentile:
+    def test_empty_raises_value_error(self):
+        with pytest.raises(ValueError, match="empty sample set"):
+            percentile([], 0.5)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_fraction_out_of_range_rejected(self, fraction):
+        with pytest.raises(ValueError, match="outside"):
+            percentile([1, 2, 3], fraction)
+
+    def test_single_sample_every_fraction(self):
+        for fraction in (0.01, 0.5, 0.99, 1.0):
+            assert percentile([7], fraction) == 7
+
+    def test_nearest_rank(self):
+        samples = [10, 20, 30, 40]
+        assert percentile(samples, 0.25) == 10
+        assert percentile(samples, 0.5) == 20
+        assert percentile(samples, 1.0) == 40
+
+    def test_unsorted_input(self):
+        assert percentile([30, 10, 20], 0.5) == 20
+
+
+class TestSummarize:
+    def test_empty_is_count_zero(self):
+        assert summarize([]) == {"count": 0}
+
+    def test_full_summary(self):
+        stats = summarize([1, 2, 3, 4])
+        assert stats["count"] == 4
+        assert stats["avg"] == 2.5
+        assert (stats["min"], stats["max"]) == (1, 4)
+
+
+class TestLatencyRecorder:
+    def test_empty_avg_raises_value_error(self):
+        recorder = LatencyRecorder("empty")
+        with pytest.raises(ValueError, match="'empty' has no samples"):
+            recorder.avg_us
+
+    def test_empty_percentiles_raise_value_error(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.p50_us
+        with pytest.raises(ValueError):
+            recorder.p99_us
+
+    def test_empty_summary_is_count_zero(self):
+        assert LatencyRecorder().summary_us() == {"count": 0}
+
+    def test_units_are_microseconds(self):
+        recorder = LatencyRecorder("lat")
+        recorder.record(1_000)
+        recorder.record(3_000)
+        assert len(recorder) == 2
+        assert recorder.avg_us == 2.0
+        assert recorder.p50_us == 1.0
+        assert recorder.summary_us()["max"] == 3.0
+
+    def test_single_sample(self):
+        recorder = LatencyRecorder()
+        recorder.record(500)
+        assert recorder.avg_us == 0.5
+        assert recorder.p50_us == recorder.p99_us == 0.5

@@ -28,7 +28,10 @@ root. Exit status:
 * 0 — within tolerance of the baseline (or baseline just [re]written),
 * 1 — events/sec regressed more than 30% on any workload,
 * 2 — determinism fingerprint drifted (simulated results changed —
-  that is a correctness bug, not a perf problem).
+  that is a correctness bug, not a perf problem),
+* 3 — ``--check`` was asked but no committed baseline exists.
+
+``--check`` is the CI mode: it never writes the baseline file.
 """
 
 from __future__ import annotations
@@ -186,7 +189,10 @@ def run_workload(name: str, reps: int = 3):
     fingerprint = None
     for _ in range(reps):
         sim, run = build()
-        events_before = sim.stats["events_executed"]
+        # Kernel progress counters come from the canonical metrics
+        # snapshot (repro.obs) — the same numbers sim.stats renders.
+        gauges = sim.metrics.snapshot()["gauges"]
+        events_before = gauges["sim.events_executed"]
         gc.collect()
         gc.disable()
         try:
@@ -195,7 +201,8 @@ def run_workload(name: str, reps: int = 3):
             cpu = time.process_time() - start
         finally:
             gc.enable()
-        rep_events = sim.stats["events_executed"] - events_before
+        gauges = sim.metrics.snapshot()["gauges"]
+        rep_events = gauges["sim.events_executed"] - events_before
         if fingerprint is None:
             fingerprint, events = result, rep_events
         elif (result, rep_events) != (fingerprint, events):
@@ -216,9 +223,14 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite BENCH_simspeed.json with this run")
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: compare only, never write the "
+                             "baseline; exit 3 if it is missing")
     parser.add_argument("--reps", type=int, default=3,
                         help="reps per workload (best counts, default 3)")
     args = parser.parse_args(argv)
+    if args.check and args.update_baseline:
+        parser.error("--check and --update-baseline are exclusive")
 
     results = {}
     for name in WORKLOADS:
@@ -227,6 +239,10 @@ def main(argv=None) -> int:
         print(f"{name:24s} {r['events_per_sec']:>10,d} events/s "
               f"({r['events']} events in {r['cpu_seconds']:.3f}s CPU)")
 
+    if args.check and not BASELINE_PATH.exists():
+        print(f"--check: no baseline at {BASELINE_PATH} "
+              "(commit one with --update-baseline)")
+        return 3
     if args.update_baseline or not BASELINE_PATH.exists():
         payload = {"schema": 1, "workloads": results}
         BASELINE_PATH.write_text(json.dumps(payload, indent=2,

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Inspect a trace recorded by the repro.obs tracer.
+
+Reads the Chrome trace-event JSON written by ``Tracer.export_chrome``
+(or ``pytest benchmarks/bench_*.py --trace OUT.json``) and reports:
+
+* **summary** (default) — event counts per category and track, the
+  simulated time span, and the race-inspector totals;
+* ``--races`` — every self-modification (``self_mod``: WQE bytes
+  rewritten between post and fetch — a RedN program editing itself)
+  and stale-fetch race (``stale_wqe``: bytes rewritten between fetch
+  and execute — the §3.1 prefetch incoherence window), with the
+  per-field diffs;
+* ``--timeline WQ`` — the chronological event stream of one work
+  queue (by name, e.g. ``ticker-ring-sq``);
+* ``--json`` — machine-readable output of whichever report was asked.
+
+Exit status: 0 on success; with ``--fail-on-race``, 1 if any
+``stale_wqe`` race was recorded (self-modification alone is how RedN
+programs work and never fails the check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.obs.inspect import (  # noqa: E402
+    load_trace,
+    race_report,
+    render_races,
+    render_summary,
+    render_timeline,
+    summarize_trace,
+    wq_timeline,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace", help="trace JSON file to inspect")
+    parser.add_argument("--races", action="store_true",
+                        help="print the self-modification / stale-fetch "
+                             "race report")
+    parser.add_argument("--timeline", metavar="WQ",
+                        help="print the event timeline of one work queue")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    parser.add_argument("--fail-on-race", action="store_true",
+                        help="exit 1 if any stale_wqe race was recorded")
+    args = parser.parse_args(argv)
+
+    data = load_trace(args.trace)
+
+    if args.timeline:
+        if args.json:
+            print(json.dumps(wq_timeline(data, args.timeline), indent=2))
+        else:
+            print(render_timeline(data, args.timeline))
+    elif args.races:
+        if args.json:
+            print(json.dumps(race_report(data), indent=2))
+        else:
+            print(render_races(data))
+    else:
+        if args.json:
+            print(json.dumps(summarize_trace(data), indent=2))
+        else:
+            print(render_summary(data))
+
+    if args.fail_on_race:
+        stale = summarize_trace(data)["races"]["stale_wqe"]
+        if stale:
+            print(f"\nFAIL: {stale} stale-fetch race(s) recorded",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
