@@ -34,11 +34,17 @@ def _flags(signaled: bool, extra: int = 0) -> int:
     return (WrFlags.SIGNALED if signaled else 0) | extra
 
 
+def _addr(value) -> int:
+    """Accept raw integers or symbolic addresses (anything with an
+    ``addr`` attribute, e.g. an Allocation or a redn IR FieldRef)."""
+    return value if isinstance(value, int) else value.addr
+
+
 def wr_write(laddr: int, length: int, raddr: int, rkey: int,
              wr_id: int = 0, signaled: bool = True) -> Wqe:
     """One-sided RDMA WRITE: local [laddr, laddr+length) -> remote raddr."""
-    return Wqe(opcode=Opcode.WRITE, wr_id=wr_id, laddr=laddr,
-               length=length, raddr=raddr, rkey=rkey,
+    return Wqe(opcode=Opcode.WRITE, wr_id=wr_id, laddr=_addr(laddr),
+               length=length, raddr=_addr(raddr), rkey=rkey,
                flags=_flags(signaled))
 
 
@@ -55,8 +61,8 @@ def wr_read(laddr: int, length: int, raddr: int, rkey: int,
             wr_id: int = 0, signaled: bool = True,
             sges: Optional[List[Sge]] = None) -> Wqe:
     """One-sided RDMA READ; response scatters to ``sges`` if given."""
-    return Wqe(opcode=Opcode.READ, wr_id=wr_id, laddr=laddr,
-               length=length, raddr=raddr, rkey=rkey,
+    return Wqe(opcode=Opcode.READ, wr_id=wr_id, laddr=_addr(laddr),
+               length=length, raddr=_addr(raddr), rkey=rkey,
                flags=_flags(signaled), sges=sges)
 
 
@@ -78,18 +84,18 @@ def wr_cas(raddr: int, rkey: int, compare: int, swap: int,
            result_laddr: int = 0, wr_id: int = 0,
            signaled: bool = True) -> Wqe:
     """64-bit compare-and-swap on remote memory; original -> laddr."""
-    return Wqe(opcode=Opcode.CAS, wr_id=wr_id, laddr=result_laddr,
-               raddr=raddr, rkey=rkey, operand0=compare, operand1=swap,
-               length=8, flags=_flags(signaled))
+    return Wqe(opcode=Opcode.CAS, wr_id=wr_id, laddr=_addr(result_laddr),
+               raddr=_addr(raddr), rkey=rkey, operand0=compare,
+               operand1=swap, length=8, flags=_flags(signaled))
 
 
 def wr_fetch_add(raddr: int, rkey: int, delta: int,
                  result_laddr: int = 0, wr_id: int = 0,
                  signaled: bool = True) -> Wqe:
     """64-bit fetch-and-add (the paper's "ADD" verb)."""
-    return Wqe(opcode=Opcode.FETCH_ADD, wr_id=wr_id, laddr=result_laddr,
-               raddr=raddr, rkey=rkey, operand0=delta, length=8,
-               flags=_flags(signaled))
+    return Wqe(opcode=Opcode.FETCH_ADD, wr_id=wr_id,
+               laddr=_addr(result_laddr), raddr=_addr(raddr), rkey=rkey,
+               operand0=delta, length=8, flags=_flags(signaled))
 
 
 def wr_calc(opcode: int, raddr: int, rkey: int, operand: int,

@@ -30,12 +30,13 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..datastructs.cuckoo import CuckooTable
-from ..ibv.wr import wr_read, wr_recv, wr_write_imm
+from ..ibv.wr import wr_recv, wr_write_imm
 from ..memory.layout import pack_uint
 from ..memory.region import MemoryRegion
 from ..nic.opcodes import Opcode
 from ..nic.wqe import Sge, ctrl_word
 from ..redn.builder import ProgramBuilder
+from ..redn.ir import AimEdge, FieldRef, InjectReadOp
 from ..redn.offload import OffloadConnection
 from ..redn.program import RednContext, WrRef
 
@@ -144,12 +145,12 @@ class HashGetOffload:
                 tag=f"{tag}.b{bucket}.resp")
 
             # Bucket READ: raddr injected by the RECV; record bytes land
-            # on the response template at offset 2 (id|laddr|length).
-            read = builder.emit(
-                worker,
-                wr_read(response.slot_addr + 2, _PATCH_LEN, 0,
-                        self.data_mr.rkey, signaled=True),
-                tag=f"{tag}.b{bucket}.read")
+            # on the response template's id|laddr|length fields — a
+            # symbolic (wr, field) target, not a byte offset.
+            read = builder.link(InjectReadOp(
+                worker, FieldRef(response, "id"), _PATCH_LEN,
+                self.data_mr.rkey, signaled=True,
+                tag=f"{tag}.b{bucket}.read"))
 
             # Control chain for this bucket: trigger -> READ -> if.
             builder.wait(control, self.conn.server_qp.recv_wq.cq,
@@ -164,9 +165,15 @@ class HashGetOffload:
             read_sinks.append(read)
 
         # Trigger RECV: scatter [cmp*buckets, addr*buckets] into the
-        # CAS operands and READ raddr fields of this instance.
-        sges = [Sge(cas.field_addr("operand0"), 8) for cas in cas_sinks]
-        sges += [Sge(read.field_addr("raddr"), 8) for read in read_sinks]
+        # CAS operands and READ raddr fields of this instance. Each
+        # scatter is recorded as an external modification edge so the
+        # verifier sees the runtime injections.
+        targets = ([FieldRef(cas, "operand0") for cas in cas_sinks]
+                   + [FieldRef(read, "raddr") for read in read_sinks])
+        sges = [Sge(target.addr, 8) for target in targets]
+        for target in targets:
+            builder.program.add_edge(AimEdge(src=None, dst=target,
+                                             length=8, kind="scatter"))
         self.conn.server_qp.post_recv(wr_recv(sges=sges))
         for control in self._unique_controls():
             control.doorbell()

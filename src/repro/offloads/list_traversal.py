@@ -33,13 +33,15 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..datastructs.linkedlist import LinkedList
-from ..ibv.wr import wr_noop, wr_read, wr_recv, wr_write, wr_write_imm
+from ..ibv.wr import wr_noop, wr_read, wr_recv, wr_write_imm
 from ..memory.layout import pack_uint
 from ..memory.region import MemoryRegion
 from ..nic.opcodes import Opcode, WrFlags
 from ..nic.wqe import Sge, WQE_HEADER, ctrl_word
 from ..redn.builder import ProgramBuilder
 from ..redn.constructs import BreakImage
+from ..redn.ir import AimEdge, FieldRef, InjectWriteOp
+from ..redn.linker import aim, aim_sge
 from ..redn.offload import OffloadConnection
 from ..redn.program import RednContext, WrRef
 
@@ -134,24 +136,30 @@ class ListTraversalOffload:
                     signaled=False, sges=sges),
             tag=tag)
 
+    def _record_scatter(self, read: WrRef, target: FieldRef,
+                        length: int) -> None:
+        """Record a READ-response scatter onto WQE fields as an edge."""
+        self.builder.program.add_edge(AimEdge(
+            src=read, dst=target, length=length, kind="scatter"))
+
     def _emit_prep(self, worker, tag: str) -> WrRef:
         """Fig 12's R2: copy the compare word into a CAS operand."""
-        return self.builder.emit(
-            worker,
-            wr_write(self.xbuf.addr, 8, 0, worker.rkey,
-                     signaled=False),
-            tag=tag)
+        return self.builder.link(InjectWriteOp(
+            worker, self.xbuf.addr, worker.rkey, length=8,
+            signaled=False, tag=tag))
 
     def _chain_next_pointers(self, reads: List[WrRef],
                              next_sge_index: int) -> None:
         """Aim each READ's `next`-pointer scatter at the next READ."""
         for step in range(len(reads) - 1):
-            reads[step].poke_sge(
-                next_sge_index, reads[step + 1].field_addr("raddr"))
+            aim_sge(self.builder.program, reads[step], next_sge_index,
+                    FieldRef(reads[step + 1], "raddr"), length=8)
 
     def _post_trigger_recv(self, first_read: WrRef) -> None:
-        sges = [Sge(self.xbuf.addr, 8),
-                Sge(first_read.field_addr("raddr"), 8)]
+        target = FieldRef(first_read, "raddr")
+        self.builder.program.add_edge(AimEdge(
+            src=None, dst=target, length=8, kind="scatter"))
+        sges = [Sge(self.xbuf.addr, 8), Sge(target.addr, 8)]
         self.conn.server_qp.post_recv(wr_recv(sges=sges))
 
     # -- plain variant ----------------------------------------------------------
@@ -170,17 +178,20 @@ class ListTraversalOffload:
                                              signaled=False)
                      for s in range(self.max_nodes)]
         for step in range(self.max_nodes):
+            patch = FieldRef(responses[step], "id")
             read = self._emit_read(
                 self.worker,
-                [Sge(responses[step].slot_addr + 2, _PATCH_LEN),
+                [Sge(patch.addr, _PATCH_LEN),
                  Sge(self.sink.addr, 8)],
                 tag=f"{tag}.s{step}.read")
+            self._record_scatter(read, patch, _PATCH_LEN)
             record.reads.append(read)
             prep = self._emit_prep(self.worker, f"{tag}.s{step}.prep")
             refs = builder.emit_if(self.control, self.worker,
                                    responses[step], compare_id=None,
                                    tag=f"{tag}.s{step}.if")
-            prep.poke("raddr", refs.cas.field_addr("operand0"))
+            aim(builder.program, prep, "raddr",
+                FieldRef(refs.cas, "operand0"))
         self._chain_next_pointers(record.reads, next_sge_index=1)
         self._post_trigger_recv(record.reads[0])
         self.instances.append(record)
@@ -233,19 +244,22 @@ class ListTraversalOffload:
             # READ: key -> break WQE id (the CAS predicate input);
             # valptr+vlen -> image laddr/length (arming data);
             # next -> next iteration's READ.
+            key_sink = FieldRef(brk, "id")
             read = self._emit_read(
                 worker,
-                [Sge(brk.field_addr("id"), 6),
+                [Sge(key_sink.addr, 6),
                  Sge(image.image_addr + WQE_HEADER.field_offset("laddr"),
                      _PATCH_LEN - 6),
                  Sge(self.sink.addr, 8)],
                 tag=f"{tag}.s{step}.read")
+            self._record_scatter(read, key_sink, 6)
             record.reads.append(read)
             prep = self._emit_prep(worker, f"{tag}.s{step}.prep")
             refs = builder.emit_if(control, worker, brk,
                                    compare_id=None,
                                    tag=f"{tag}.s{step}.if")
-            prep.poke("raddr", refs.cas.field_addr("operand0"))
+            aim(builder.program, prep, "raddr",
+                FieldRef(refs.cas, "operand0"))
             # Release the lane pair once the break WR retired; require
             # the gate's completion before the next iteration — the
             # starvation point of Fig 6.

@@ -31,19 +31,21 @@ for a closed-loop client.
 from __future__ import annotations
 
 from ..datastructs.cuckoo import CuckooTable
-from ..ibv.wr import (
-    wr_cas,
-    wr_enable,
-    wr_fetch_add,
-    wr_read,
-    wr_recv,
-    wr_wait,
-    wr_write_imm,
-)
+from ..ibv.wr import wr_recv, wr_write_imm
 from ..memory.region import MemoryRegion
 from ..nic.wqe import Sge, WQE_SLOT_SIZE
 from ..redn.builder import ProgramBuilder
-from ..redn.constructs import WQE_COUNT_ADD_DELTA
+from ..redn.ir import (
+    AimEdge,
+    ArmCasOp,
+    ArmWord,
+    CountBumpOp,
+    EnableOp,
+    FieldRef,
+    InjectReadOp,
+    LoopInfo,
+    RestoreOp,
+)
 from ..redn.offload import OffloadConnection
 from ..redn.program import ProgramError, RednContext
 
@@ -98,60 +100,54 @@ class RecycledHashGetOffload:
                                signaled=True), tag=f"{name}.resp")
         self.response = response
 
-        # Pristine template image for the per-lap restore.
+        # Shadow cell for the per-lap restore; the RestoreOp captures
+        # the pristine template image at link time (and asserts the
+        # shadow region matches the ring image it restores).
         shadow, shadow_mr = ctx.alloc_registered(
             WQE_SLOT_SIZE, label=f"{name}-shadow")
-        ctx.memory.write(shadow.addr,
-                         response.snapshot_bytes(WQE_SLOT_SIZE))
 
         recv_cq = server_qp.recv_wq.cq
-        wait_recv = builder.emit(worker, wr_wait(recv_cq.cq_num, 1),
+        wait_recv = builder.wait(worker, recv_cq, 1,
                                  tag=f"{name}.wait-recv")
-        read = builder.emit(
-            worker,
-            wr_read(response.slot_addr + 2, _PATCH_LEN, 0,
-                    data_mr.rkey, signaled=False),
-            tag=f"{name}.read")
-        cas = builder.emit(
-            worker,
-            wr_cas(response.field_addr("ctrl"), lane.rkey, compare=0,
-                   swap=ProgramBuilder.live_ctrl_for(response),
-                   signaled=False), tag=f"{name}.cas")
-        builder.emit(worker, wr_enable(lane.wq_num, 1, relative=True),
-                     tag=f"{name}.en-lane")
-        wait_lane = builder.emit(worker, wr_wait(lane.cq_num, 1),
+        read = builder.link(InjectReadOp(
+            worker, FieldRef(response, "id"), _PATCH_LEN, data_mr.rkey,
+            signaled=False, tag=f"{name}.read"))
+        cas = builder.link(ArmCasOp(
+            worker, FieldRef(response, "ctrl"), compare=0,
+            swap=ArmWord(response), signaled=False,
+            tag=f"{name}.cas"))
+        builder.link(EnableOp(worker, lane, 1, relative=True,
+                              tag=f"{name}.en-lane"))
+        wait_lane = builder.wait(worker, lane, 1,
                                  tag=f"{name}.wait-lane")
-        builder.emit(
-            worker,
-            wr_read(response.slot_addr, WQE_SLOT_SIZE, shadow.addr,
-                    shadow_mr.rkey, signaled=False),
-            tag=f"{name}.restore")
-        builder.emit(
-            worker,
-            wr_fetch_add(wait_recv.field_addr("wqe_count"), worker.rkey,
-                         WQE_COUNT_ADD_DELTA(1), signaled=False),
-            tag=f"{name}.add-recv")
-        builder.emit(
-            worker,
-            wr_fetch_add(wait_lane.field_addr("wqe_count"), worker.rkey,
-                         WQE_COUNT_ADD_DELTA(1), signaled=False),
-            tag=f"{name}.add-lane")
-        builder.emit(
-            worker,
-            wr_enable(server_qp.recv_wq.wq_num, 1, relative=True),
-            tag=f"{name}.en-recv")
-        builder.emit(
-            worker, wr_enable(worker.wq_num, _RING_WRS, relative=True),
-            tag=f"{name}.wrap")
+        restore = RestoreOp(worker, response, 0, WQE_SLOT_SIZE,
+                            shadow.addr, shadow_mr.rkey, capture=True,
+                            tag=f"{name}.restore")
+        builder.link(restore)
+        builder.link(CountBumpOp(worker, wait_recv, 1, worker.rkey,
+                                 tag=f"{name}.add-recv"))
+        builder.link(CountBumpOp(worker, wait_lane, 1, worker.rkey,
+                                 tag=f"{name}.add-lane"))
+        builder.link(EnableOp(worker, server_qp.recv_wq, 1,
+                              relative=True, tag=f"{name}.en-recv"))
+        builder.link(EnableOp(worker, worker, _RING_WRS, relative=True,
+                              tag=f"{name}.wrap"))
         if worker.wq.posted_count != _RING_WRS:
             raise ProgramError("recycled ring not exactly filled")
+        builder.program.loops.append(LoopInfo(
+            ring=worker, wait=wait_recv.ir_op, restores=[restore],
+            ring_wrs=_RING_WRS))
 
         # The single recycling trigger RECV: compare word into the CAS
         # operand, bucket address into the READ's raddr — same WQE (and
-        # the same two fields) every lap.
+        # the same two fields) every lap. Recorded as external
+        # modification edges for the verifier.
+        targets = [FieldRef(cas, "operand0"), FieldRef(read, "raddr")]
+        for target in targets:
+            builder.program.add_edge(AimEdge(src=None, dst=target,
+                                             length=8, kind="scatter"))
         server_qp.post_recv(wr_recv(sges=[
-            Sge(cas.field_addr("operand0"), 8),
-            Sge(read.field_addr("raddr"), 8),
+            Sge(target.addr, 8) for target in targets
         ]), ring_doorbell=True)   # managed ring: arm lap 1 explicitly
 
     def start(self) -> None:

@@ -18,6 +18,13 @@ Two strategies, with the paper's trade-off:
   paper reports — but the offload stays alive across host software
   failures (§5.6).
 
+Both lower through the IR: restores become :class:`RestoreOp` (whose
+construction *asserts* the shadow region matches the ring image it
+restores — a short shadow would silently truncate the re-templating),
+the ADD becomes :class:`CountBumpOp` and the rearms
+:class:`EnableOp` — so the verifier can tell this deliberate
+upstream rewriting from genuine doorbell-order hazards.
+
 The **break** mechanism (Fig 6) is provided by :class:`BreakImage`: a
 single WRITE (armed by the predicate CAS) that overwrites a prepared
 two-WQE image — arming the response *and* clearing the SIGNALED flag of
@@ -26,34 +33,30 @@ the iteration's gate WR, so the next iteration's WAIT never fires.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
-from ..ibv.wr import wr_enable, wr_fetch_add, wr_read, wr_wait
 from ..nic.opcodes import Opcode, WrFlags
 from ..nic.queue import CompletionQueue
 from ..nic.wqe import (
     WQE_HEADER,
     WQE_SLOT_SIZE,
     Wqe,
-    ctrl_word,
     field_location,
 )
 from .builder import ProgramBuilder
+from .ir import (
+    AimEdge,
+    CountBumpOp,
+    EnableOp,
+    FieldRef,
+    LoopInfo,
+    RestoreOp,
+    WQE_COUNT_ADD_DELTA,
+)
 from .program import ChainQueue, ProgramError, WrRef
 
 __all__ = ["RecycledLoop", "BreakImage", "WQE_COUNT_ADD_DELTA"]
-
-# The wqe_count field occupies the high 32 bits of the u64 at offset 48
-# (big-endian), so a 64-bit ADD of ``delta << 32`` increments it without
-# disturbing the neighbouring target/num_slots/num_sge bytes — the
-# paper's "wqe_count values need to be incremented to match" trick.
-_WQE_COUNT_U64_OFFSET = 48
-
-
-def WQE_COUNT_ADD_DELTA(delta: int) -> int:
-    """Encode a wqe_count increment as a u64 fetch-add operand."""
-    return (delta & 0xFFFFFFFF) << 32
 
 
 @dataclass
@@ -145,15 +148,17 @@ class RecycledLoop:
 
         # Head WAIT: one lap per `trigger_delta` completions. Absolute
         # count for lap 1; the tail ADD bumps it before every wrap.
-        self.wait_ref = builder.emit(
-            ring, wr_wait(self.trigger_cq.cq_num, self.trigger_delta),
-            tag=f"{self.tag}.wait")
+        self.wait_ref = builder.wait(ring, self.trigger_cq,
+                                     self.trigger_delta,
+                                     tag=f"{self.tag}.wait")
+        restores: List[RestoreOp] = []
 
         for wqe, tag in self._body:
             self.body_refs.append(builder.emit(ring, wqe, tag=tag))
 
-        # Shadow images + restore READs. Shadows are captured from the
-        # just-posted (pristine) ring bytes.
+        # Shadow cells + restore READs. The RestoreOp captures the
+        # just-posted (pristine) ring bytes into its shadow at link
+        # time, after asserting the region matches the target's image.
         shadow_size = sum(spec.length for spec in self._restores) or 8
         shadow_alloc, shadow_mr = ctx.alloc_registered(
             shadow_size, label=f"{self.name}-shadow")
@@ -163,40 +168,34 @@ class RecycledLoop:
             if isinstance(target, int):
                 target = self.body_refs[target]
                 spec.target = target
-            image = target.queue.memory.read(
-                target.slot_addr + spec.offset, spec.length)
-            ctx.memory.write(cursor, image)
             spec.shadow_addr = cursor
+            op = RestoreOp(ring, target, spec.offset, spec.length,
+                           spec.shadow_addr, shadow_mr.rkey,
+                           capture=True, tag=f"{self.tag}.restore")
+            builder.link(op)
+            restores.append(op)
             cursor += spec.length
-            builder.emit(
-                ring,
-                wr_read(target.slot_addr + spec.offset, spec.length,
-                        spec.shadow_addr, shadow_mr.rkey, signaled=False),
-                tag=f"{self.tag}.restore")
 
         # ADD: bump the head WAIT's wqe_count by trigger_delta per lap.
-        builder.emit(
-            ring,
-            wr_fetch_add(self.wait_ref.field_addr("wqe_count") - 0,
-                         ring.rkey,
-                         WQE_COUNT_ADD_DELTA(self.trigger_delta),
-                         signaled=False),
-            tag=f"{self.tag}.add")
+        builder.link(CountBumpOp(ring, self.wait_ref,
+                                 self.trigger_delta, ring.rkey,
+                                 tag=f"{self.tag}.add"))
 
         for queue, count in self._rearms:
-            builder.emit(
-                ring, wr_enable(queue.wq_num, count, relative=True),
-                tag=f"{self.tag}.rearm")
+            builder.link(EnableOp(ring, queue, count, relative=True,
+                                  tag=f"{self.tag}.rearm"))
 
         # Tail: wrap the ring around itself, one full lap at a time.
-        builder.emit(
-            ring, wr_enable(ring.wq_num, self.ring_wrs, relative=True),
-            tag=f"{self.tag}.wrap")
+        builder.link(EnableOp(ring, ring, self.ring_wrs, relative=True,
+                              tag=f"{self.tag}.wrap"))
 
         if ring.wq.posted_count != self.ring_wrs:
             raise ProgramError(
                 f"ring not exactly filled: {ring.wq.posted_count} "
                 f"!= {self.ring_wrs}")
+        builder.program.loops.append(LoopInfo(
+            ring=ring, wait=self.wait_ref.ir_op, restores=restores,
+            ring_wrs=self.ring_wrs))
 
     def start(self) -> None:
         """The single CPU action: enable the first lap."""
@@ -225,7 +224,10 @@ class BreakImage:
       the next iteration WAITs on never happens.
 
     ``emit_break_write`` posts the (disarmed) WRITE covering both WQEs;
-    the loop's predicate CAS arms it on a key match.
+    the loop's predicate CAS arms it on a key match. The break template
+    records its (response, gate) pair on the IR op — the verifier
+    exempts this intentional two-WQE span from the field-granularity
+    inject checks.
     """
 
     def __init__(self, builder: ProgramBuilder, response: WrRef,
@@ -272,4 +274,11 @@ class BreakImage:
                    raddr=self.response.slot_addr,
                    rkey=self.response.queue.rkey,
                    flags=WrFlags.SIGNALED if signaled else 0)
-        return self.builder.template(queue, live, tag=f"{self.tag}.write")
+        ref = self.builder.template(queue, live, tag=f"{self.tag}.write")
+        ref.ir_op.break_targets = (self.response, self.gate)
+        # Record the two-WQE overwrite as a modification edge so the
+        # verifier (and reports) see the break datapath.
+        self.builder.program.add_edge(AimEdge(
+            src=ref, dst=FieldRef(self.response, "ctrl"),
+            length=self.image_len, kind="inject"))
+        return ref

@@ -1,0 +1,110 @@
+"""The RedN linker: lowering chain IR onto work-queue rings.
+
+The linker is the only stage that turns symbols into bytes. Two modes:
+
+* **streaming** (:func:`link_op`) — each op is appended to its program
+  and posted immediately. This is how :class:`ProgramBuilder` and the
+  offloads operate: chain WRs interleave with trigger RECVs and
+  doorbells mid-simulation, so emission order *is* program order and
+  the lowered bytes land exactly where (and when) the pre-IR
+  hand-assembly put them.
+* **batch** (:func:`link`) — a deferred program (ops created but not
+  posted, e.g. after :func:`repro.redn.passes.optimize` rewrote it) is
+  lowered in op order, then recorded aim wiring is poked into the
+  rings.
+
+Symbol resolution happens inside each op's ``build_wqe`` (field
+addresses, arm words, signaled counts) against the queue state at the
+moment the op posts — which is what makes streaming and batch linking
+agree: in both, every op links after all ops before it in program
+order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ir import (
+    AimEdge,
+    ChainLintError,
+    ChainOp,
+    ChainProgram,
+    FieldRef,
+    InjectWriteOp,
+    RestoreOp,
+)
+from .program import WrRef
+
+__all__ = ["link_op", "link", "aim", "aim_sge"]
+
+
+def link_op(program: ChainProgram, op: ChainOp,
+            append: bool = True) -> WrRef:
+    """Lower one op: resolve its symbols, post its WQE, bind the ref."""
+    if op.linked:
+        raise ChainLintError(f"{op!r} already linked", wr=op,
+                             check="double-link")
+    if append:
+        program.append(op)
+    if isinstance(op, RestoreOp):
+        op.prepare()
+    wqe = op.build_wqe()
+    ref = op.queue.post(wqe, tag=op.tag)
+    op.ref = ref
+    ref.ir_op = op
+    op.signal_seq = op.queue.signaled_posted
+    return ref
+
+
+def link(program: ChainProgram) -> List[WrRef]:
+    """Batch-lower a deferred program; returns refs in op order."""
+    refs = []
+    for op in program.ops:
+        if not op.linked:
+            link_op(program, op, append=False)
+        refs.append(op.ref)
+    for edge in program.edges:
+        _apply_edge(edge)
+    return refs
+
+
+def aim(program: ChainProgram, src, src_field: str, dst: FieldRef,
+        kind: str = "inject", length: int = 0) -> AimEdge:
+    """Wire ``src``'s ``src_field`` to carry ``dst``'s address.
+
+    The setup-time poke that used to be ``ref.poke(field,
+    other.field_addr(...))`` — now recorded on the program so the
+    verifier sees the modification edge. Applied immediately when both
+    ends are linked (streaming mode), else deferred to :func:`link`.
+    """
+    edge = program.add_edge(AimEdge(src=src, dst=dst, length=length,
+                                    kind=kind, src_field=src_field))
+    src_op = program.op_for(src)
+    if isinstance(src_op, InjectWriteOp) and src_op.target is None:
+        src_op.target = dst
+    _apply_edge(edge)
+    return edge
+
+
+def aim_sge(program: ChainProgram, src, sge_index: int, dst: FieldRef,
+            kind: str = "scatter", length: int = 0) -> AimEdge:
+    """Re-aim scatter entry ``sge_index`` of ``src`` at ``dst``."""
+    edge = program.add_edge(AimEdge(src=src, dst=dst, length=length,
+                                    kind=kind, src_sge=sge_index))
+    _apply_edge(edge)
+    return edge
+
+
+def _apply_edge(edge: AimEdge) -> None:
+    from .ir import ref_of   # local import: ir must not import linker
+
+    src_ref = ref_of(edge.src)
+    if src_ref is None or (edge.src_field is None
+                           and edge.src_sge is None):
+        return   # record-only edge (e.g. an external RECV scatter)
+    if edge.dst.ref is None:
+        return   # deferred: link() re-applies once dst is lowered
+    if edge.src_field is not None:
+        src_ref.poke(edge.src_field, edge.dst.addr)
+    else:
+        src_ref.poke_sge(edge.src_sge, edge.dst.addr)

@@ -33,6 +33,8 @@ from typing import Generator, List, Sequence, Union
 from ..ibv.wr import wr_fetch_add, wr_write
 from ..memory.layout import mask
 from ..nic.wqe import Wqe
+from .ir import ChainOp, ChainProgram, FieldRef, InjectWriteOp, RawOp
+from .linker import aim, link_op
 from .program import ChainQueue, ProgramError, RednContext, WrRef
 
 __all__ = [
@@ -139,6 +141,11 @@ class MovMachine:
         self._ram_cursor = self.ram.addr + 8 * num_registers
         self.queue: ChainQueue = ctx.worker_queue(
             slots=queue_slots, name=f"{name}-q")
+        #: Every compiled op streams through the IR linker into here —
+        #: address-injection WRITEs are typed (InjectWriteOp) and their
+        #: wiring recorded as edges, so chain_lint can verify the
+        #: machine's self-modification the same way it verifies offloads.
+        self.program = ChainProgram(name)
         # Constant pool: one 8-byte cell per distinct immediate.
         self._pool = self.alloc_ram(8 * 256, "const-pool")
         self._pool_used = 0
@@ -190,11 +197,20 @@ class MovMachine:
     # -- compilation: one op -> WQEs -------------------------------------------
 
     def _post(self, wqe: Wqe) -> WrRef:
+        return self._link(RawOp(self.queue, wqe))
+
+    def _link(self, chain_op: ChainOp) -> WrRef:
         self.wrs_posted += 1
-        return self.queue.post(wqe, ring_doorbell=False)
+        return link_op(self.program, chain_op)
+
+    def _inject_write(self, src_addr: int) -> WrRef:
+        """The address-injection WRITE: copies a register's value onto
+        a downstream WQE field (wired afterwards via ``aim``)."""
+        return self._link(InjectWriteOp(self.queue, src_addr,
+                                        self.queue.rkey, length=8,
+                                        signaled=False))
 
     def _compile_op(self, op: MovOp, signal_last: bool) -> None:
-        rkey = self.queue.rkey          # self-modification key
         reg_rkey = self.ram_mr.rkey     # register-file key
         memory_rkey = self.ram_mr.rkey  # unified machine RAM key
 
@@ -211,30 +227,27 @@ class MovMachine:
 
         if isinstance(op, MovLoad):
             # W2 posted conceptually second, but its slot address is
-            # needed by W1 — compute it from the queue cursor.
-            w1 = self._post(wr_write(self.reg_addr(op.src), 8, 0, rkey,
-                                     signaled=False))
+            # needed by W1 — the aim edge resolves it once W2 links.
+            w1 = self._inject_write(self.reg_addr(op.src))
             w2 = self._post(wr_write(0, 8, self.reg_addr(op.dst),
                                      reg_rkey, signaled=signal_last))
-            w1.poke("raddr", w2.field_addr("laddr"))
+            aim(self.program, w1, "raddr", FieldRef(w2, "laddr"))
             return
 
         if isinstance(op, MovStore):
-            w1 = self._post(wr_write(self.reg_addr(op.dst), 8, 0, rkey,
-                                     signaled=False))
+            w1 = self._inject_write(self.reg_addr(op.dst))
             w2 = self._post(wr_write(self.reg_addr(op.src), 8, 0,
                                      memory_rkey,
                                      signaled=signal_last))
-            w1.poke("raddr", w2.field_addr("raddr"))
+            aim(self.program, w1, "raddr", FieldRef(w2, "raddr"))
             return
 
         if isinstance(op, AddReg):
-            w1 = self._post(wr_write(self.reg_addr(op.src), 8, 0, rkey,
-                                     signaled=False))
+            w1 = self._inject_write(self.reg_addr(op.src))
             add = self._post(wr_fetch_add(self.reg_addr(op.dst),
                                           reg_rkey, 0,
                                           signaled=signal_last))
-            w1.poke("raddr", add.field_addr("operand0"))
+            aim(self.program, w1, "raddr", FieldRef(add, "operand0"))
             return
 
         raise ProgramError(f"unknown op {op!r}")

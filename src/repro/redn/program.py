@@ -41,7 +41,7 @@ class WrRef:
     """Handle to a posted WR inside a :class:`ChainQueue`."""
 
     __slots__ = ("queue", "wr_index", "slot_cursor", "wqe", "tag",
-                 "slot_addr", "intended_opcode")
+                 "slot_addr", "intended_opcode", "ir_op")
 
     def __init__(self, queue: "ChainQueue", wr_index: int,
                  slot_cursor: int, wqe: Wqe, tag: str = ""):
@@ -50,6 +50,7 @@ class WrRef:
         self.slot_cursor = slot_cursor
         self.wqe = wqe          # the host-side template (setup-time copy)
         self.tag = tag
+        self.ir_op = None       # back-pointer set by the IR linker
         # Ring geometry is fixed at post time, so the slot address never
         # changes; programs aim thousands of field addresses at it.
         self.slot_addr = queue.wq.slot_addr(slot_cursor)

@@ -1,0 +1,302 @@
+#!/usr/bin/env python3
+"""chain_lint: run the IR verifier over every built-in chain program.
+
+Builds each built-in RedN program (the §3.3 constructs, the Appendix A
+machines, and all three offloads) on a fresh simulated testbed, lowers
+it through the builder -> IR -> linker pipeline, and reports:
+
+* the Table 2 construct cost derived from the IR (xC + yA + zE),
+* every hazard the verifier finds (expected: none on built-ins),
+* the per-queue ordering-mode plan (managed vs normal, §3.1 costs).
+
+Usage:
+
+    PYTHONPATH=src python tools/chain_lint.py [--fail-on-hazard] [-v]
+
+``--fail-on-hazard`` exits non-zero if any program has a hazard, for
+CI. ``-v`` additionally prints the ordering rationale per queue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, List, Tuple
+
+from repro.apps import MemcachedServer
+from repro.bench import Testbed
+from repro.datastructs import (
+    BUCKET_SIZE,
+    CuckooTable,
+    LinkedList,
+    SlabStore,
+)
+from repro.ibv import wr_cas, wr_write
+from repro.memory import HostMemory, ProtectionDomain
+from repro.net import Fabric
+from repro.nic import RNIC
+from repro.offloads.hash_lookup import HashGetOffload
+from repro.offloads.list_traversal import ListTraversalOffload
+from repro.offloads.recycled_get import (
+    RECYCLED_CONN_KWARGS,
+    RecycledHashGetOffload,
+)
+from repro.redn import ProgramBuilder, RecycledLoop, RednContext
+from repro.redn.ir import ChainProgram
+from repro.redn.movmachine import (
+    AddConst,
+    AddReg,
+    MovImm,
+    MovLoad,
+    MovMachine,
+    MovStore,
+)
+from repro.redn.offload import OffloadConnection
+from repro.redn.passes import chain_cost, plan_ordering, verify
+from repro.redn.turing import BINARY_INCREMENT, NicTuringMachine
+from repro.sim import Simulator
+
+
+# -- fresh single-host worlds -------------------------------------------------
+
+class _Loopback:
+    """Minimal one-NIC world (the tests' LoopbackRig, inlined)."""
+
+    def __init__(self):
+        self.sim = Simulator()
+        self.memory = HostMemory(name="mem")
+        self.nic = RNIC(self.sim, self.memory, name="nic")
+        self.pd = ProtectionDomain(self.memory, name="pd")
+        self.qp_a, self.qp_b = self.nic.create_loopback_pair(self.pd)
+        self.ctx = RednContext(self.nic, self.pd, owner="chain-lint")
+
+
+def _build_if() -> ChainProgram:
+    """The §3.3 if: CAS arms a disarmed branch template."""
+    world = _Loopback()
+    ctx = world.ctx
+    builder = ProgramBuilder(ctx, name="if")
+    src, _ = ctx.alloc_registered(8, label="src")
+    dst, dst_mr = ctx.alloc_registered(8, label="dst")
+
+    ctl = builder.control_queue(name="ctl")
+    worker = builder.worker_queue(name="wrk")
+    branches = builder.worker_queue(name="brn")
+    live = wr_write(src.addr, 8, dst.addr, dst_mr.rkey)
+    live.wr_id = 0x42
+    branch = builder.template(branches, live, tag="if.branch")
+    builder.emit_if(ctl, worker, branch, compare_id=0x42, tag="if")
+    return builder.program
+
+
+def _build_wide_if() -> ChainProgram:
+    """The §3.5 wide if: 96-bit compare via chained CAS segments."""
+    world = _Loopback()
+    ctx = world.ctx
+    builder = ProgramBuilder(ctx, name="wide-if")
+    src, _ = ctx.alloc_registered(8)
+    dst, dst_mr = ctx.alloc_registered(8)
+
+    ctl = builder.control_queue(name="ctl")
+    predicate = builder.worker_queue(name="pred")
+    stages = builder.worker_queue(name="stages")
+    branches = builder.worker_queue(name="branches")
+    branch = builder.template(
+        branches, wr_write(src.addr, 8, dst.addr, dst_mr.rkey),
+        tag="wide.branch")
+    builder.emit_wide_if(ctl, predicate, stages, branch,
+                         compare_value=(0xABC << 64) | 0x123456789,
+                         operand_bits=96)
+    return builder.program
+
+
+def _build_recycled_while() -> ChainProgram:
+    """The §3.4 recycled while loop (split restores + rearm)."""
+    world = _Loopback()
+    ctx = world.ctx
+    builder = ProgramBuilder(ctx, name="recycled-while")
+    dummy, dummy_mr = ctx.alloc_registered(64, label="dummy")
+
+    client = builder.worker_queue(name="client")
+    resp = builder.template(
+        client, wr_write(dummy.addr, 8, dummy.addr + 8, dummy_mr.rkey),
+        tag="while.resp")
+    loop = RecycledLoop(builder, client.cq, name="srv")
+    loop.body(wr_cas(resp.field_addr("ctrl"), client.rkey,
+                     compare=0, swap=0, signaled=True),
+              tag="while.cas")
+    loop.restore(resp, offset=0, length=8)
+    loop.restore(resp, offset=8, length=56)
+    loop.rearm(client)
+    loop.build()
+    return builder.program
+
+
+def _compile_only(generator) -> None:
+    """Advance ``MovMachine.execute`` to its first yield: the ops are
+    compiled and linked, but the completion wait never runs."""
+    next(generator)
+
+
+def _build_mov_machine() -> ChainProgram:
+    """One of each Table 7 addressing mode through the mov machine."""
+    world = _Loopback()
+    machine = MovMachine(world.ctx, name="mov")
+    cell = machine.alloc_ram(8)
+    _compile_only(machine.execute([
+        MovImm(0, cell),
+        MovImm(1, 7),
+        MovStore(0, 1),     # [r0] = r1
+        MovLoad(2, 0),      # r2 = [r0]
+        AddConst(2, 5),
+        AddReg(2, 1),       # r2 += r1
+    ]))
+    return machine.program
+
+
+def _build_turing_step() -> ChainProgram:
+    """One Turing-machine step: eleven mov ops on the NIC."""
+    world = _Loopback()
+    machine = NicTuringMachine(world.ctx, BINARY_INCREMENT,
+                               tape_cells=16, name="tm")
+    machine.load_tape(["1", "0", "1"])
+    _compile_only(machine.machine.execute(machine.step_ops()))
+    return machine.machine.program
+
+
+def _build_hash(parallel: bool) -> ChainProgram:
+    """The Fig 9 hash-get offload (sequential or parallel probing)."""
+    sim = Simulator()
+    server_mem = HostMemory(name="srv", size=64 * 1024 * 1024)
+    client_mem = HostMemory(name="cli")
+    server_nic = RNIC(sim, server_mem, name="snic")
+    client_nic = RNIC(sim, client_mem, name="cnic")
+    Fabric(sim).connect(server_nic, client_nic)
+    server_pd = ProtectionDomain(server_mem, name="spd")
+    client_pd = ProtectionDomain(client_mem, name="cpd")
+    ctx = RednContext(server_nic, server_pd, owner="lint-hash")
+
+    slab_alloc = ctx.alloc(8 * 1024 * 1024, label="slab")
+    table_alloc = ctx.alloc(256 * BUCKET_SIZE, label="table")
+    data_mr = server_pd.register(slab_alloc)
+    table_mr = server_pd.register(table_alloc)
+    slab = SlabStore(server_mem, slab_alloc)
+    table = CuckooTable(server_mem, table_alloc, 256, slab)
+
+    conn = OffloadConnection(ctx, client_nic, client_pd,
+                             num_lanes=2 if parallel else 1, name="kv")
+    offload = HashGetOffload(ctx, table, table_mr, conn,
+                             parallel=parallel, buckets=2)
+    offload.post_instances(2)
+    return offload.builder.program
+
+
+def _build_list(use_break: bool) -> ChainProgram:
+    """The Fig 12 list traversal (plain or early-break variant)."""
+    sim = Simulator()
+    server_mem = HostMemory(name="srv", size=64 * 1024 * 1024)
+    client_mem = HostMemory(name="cli")
+    server_nic = RNIC(sim, server_mem, name="snic")
+    client_nic = RNIC(sim, client_mem, name="cnic")
+    Fabric(sim).connect(server_nic, client_nic)
+    server_pd = ProtectionDomain(server_mem)
+    client_pd = ProtectionDomain(client_mem)
+    ctx = RednContext(server_nic, server_pd, owner="lint-list")
+
+    slab_alloc = ctx.alloc(4 * 1024 * 1024, label="slab")
+    node_alloc = ctx.alloc(64 * 1024, label="nodes")
+    data_mr = server_pd.register(node_alloc)
+    slab = SlabStore(server_mem, slab_alloc)
+    linked = LinkedList(server_mem, node_alloc, slab)
+    for key in (11, 22, 33, 44):
+        linked.append(key, b"v")
+
+    conn = OffloadConnection(ctx, client_nic, client_pd, name="lst")
+    offload = ListTraversalOffload(ctx, linked, data_mr, conn,
+                                   max_nodes=4, use_break=use_break)
+    offload.post_instances(2)
+    return offload.builder.program
+
+
+def _build_recycled_get() -> ChainProgram:
+    """The §3.4/§5.6 zero-CPU recycled hash-get server."""
+    bed = Testbed(num_clients=1)
+    store = MemcachedServer(bed.server)
+    conn = OffloadConnection(store.ctx, bed.clients[0].nic,
+                             bed.client_pd(0), name="rg",
+                             **RECYCLED_CONN_KWARGS)
+    offload = RecycledHashGetOffload(store.ctx, store.table,
+                                     store.table_mr, conn)
+    return offload.builder.program
+
+
+BUILTINS: List[Tuple[str, Callable[[], ChainProgram]]] = [
+    ("if", _build_if),
+    ("wide-if", _build_wide_if),
+    ("recycled-while", _build_recycled_while),
+    ("mov-machine", _build_mov_machine),
+    ("turing-step", _build_turing_step),
+    ("hash-get-seq", lambda: _build_hash(parallel=False)),
+    ("hash-get-par", lambda: _build_hash(parallel=True)),
+    ("list-traversal", lambda: _build_list(use_break=False)),
+    ("list-traversal-break", lambda: _build_list(use_break=True)),
+    ("recycled-get", _build_recycled_get),
+]
+
+
+def lint_program(name: str, program: ChainProgram,
+                 verbose: bool = False) -> int:
+    """Print the report for one program; returns its hazard count."""
+    cost = chain_cost(program)
+    hazards = verify(program)
+    plans = plan_ordering(program)
+
+    status = "ok" if not hazards else f"{len(hazards)} hazard(s)"
+    print(f"{name:22s} {len(program.ops):4d} wrs  "
+          f"{len(program.queues):2d} queues  cost {cost}  [{status}]")
+    for hazard in hazards:
+        where = hazard.op.wr_name if hazard.op is not None else "?"
+        print(f"    HAZARD {hazard.check}: {hazard.message} ({where})")
+    if verbose:
+        for plan in plans:
+            print(f"    queue {plan['queue']:24s} {plan['wrs']:4d} wrs  "
+                  f"{plan['current']:>7s} -> {plan['recommended']:>7s}  "
+                  f"{plan['reason']}"
+                  + (f"  (saves ~{plan['est_saving_ns']}ns)"
+                     if plan["est_saving_ns"] else ""))
+    return len(hazards)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fail-on-hazard", action="store_true",
+                        help="exit non-zero if any hazard is found")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print per-queue ordering plans")
+    parser.add_argument("--only", metavar="NAME",
+                        help="lint a single built-in program")
+    args = parser.parse_args(argv)
+
+    selected = [(name, build) for name, build in BUILTINS
+                if args.only is None or name == args.only]
+    if not selected:
+        names = ", ".join(name for name, _ in BUILTINS)
+        print(f"unknown program {args.only!r}; choose from: {names}",
+              file=sys.stderr)
+        return 2
+
+    total_hazards = 0
+    for name, build in selected:
+        program = build()
+        total_hazards += lint_program(name, program,
+                                      verbose=args.verbose)
+
+    print(f"\n{len(selected)} programs linted, "
+          f"{total_hazards} hazard(s) total")
+    if args.fail_on_hazard and total_hazards:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
