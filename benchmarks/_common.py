@@ -19,12 +19,16 @@ from repro.bench import Testbed as _BaseTestbed
 from repro.bench import render_table
 
 __all__ = ["run_once", "print_comparison", "Testbed", "within_factor",
-           "set_trace_output", "flush_trace"]
+           "set_trace_output", "set_breakdown_output", "flush_trace",
+           "mark_request"]
 
 # -- optional tracing (pytest --trace OUT.json / REPRO_TRACE=OUT.json) ----
 
 #: Where to write the merged Chrome trace, or None for tracing off.
 TRACE_PATH: Optional[str] = os.environ.get("REPRO_TRACE") or None
+#: Where to write the per-phase latency breakdown JSON, or None.
+BREAKDOWN_PATH: Optional[str] = \
+    os.environ.get("REPRO_BREAKDOWN") or None
 _tracers: List = []
 
 
@@ -34,32 +38,83 @@ def set_trace_output(path: Optional[str]) -> None:
     TRACE_PATH = path
 
 
+def set_breakdown_output(path: Optional[str]) -> None:
+    """Enable critical-path breakdown output (implies tracing)."""
+    global BREAKDOWN_PATH
+    BREAKDOWN_PATH = path
+
+
+def mark_request(bed, label: str, start_ns: int) -> None:
+    """Mark [start_ns, now] as one profiled request window on ``bed``.
+
+    No-op when the bed carries no tracer, so benchmarks call it
+    unconditionally per sample.
+    """
+    tracer = getattr(bed, "tracer", None)
+    if tracer is not None:
+        tracer.request_span(label, start_ns)
+
+
+def _write_breakdown(path: str) -> None:
+    """Profile every bed's tracer and write one merged breakdown."""
+    import json as _json
+    from collections import Counter as _Counter
+
+    from repro.obs import CritPathProfile, profile_tracer
+
+    requests: List = []
+    ops: _Counter = _Counter()
+    totals = _Counter()
+    for tracer in _tracers:
+        profile = profile_tracer(tracer)
+        requests.extend(profile.requests)
+        counts = profile.counts
+        ops.update(counts["ops"])
+        for key in ("E", "WAIT", "ENABLE"):
+            totals[key] += counts[key]
+    merged = CritPathProfile(requests, {
+        "E": totals["E"], "WAIT": totals["WAIT"],
+        "ENABLE": totals["ENABLE"], "ops": dict(sorted(ops.items()))})
+    with open(path, "w") as handle:
+        _json.dump(merged.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\n[breakdown] wrote {len(requests)} request(s) to {path}")
+
+
 def flush_trace() -> Optional[str]:
-    """Merge and write all recorded traces; returns the path written."""
+    """Write all pending outputs (trace, breakdown); returns the trace
+    path written, if any."""
     global _tracers
-    if not TRACE_PATH or not _tracers:
+    if not _tracers:
         return None
-    from repro.obs import export_merged_chrome
-    count = export_merged_chrome(_tracers, TRACE_PATH)
+    written = None
+    if BREAKDOWN_PATH:
+        _write_breakdown(BREAKDOWN_PATH)
+    if TRACE_PATH:
+        from repro.obs import export_merged_chrome
+        count = export_merged_chrome(_tracers, TRACE_PATH)
+        print(f"\n[trace] wrote {count} events to {TRACE_PATH}")
+        written = TRACE_PATH
     for tracer in _tracers:
         tracer.close()
     _tracers = []
-    print(f"\n[trace] wrote {count} events to {TRACE_PATH}")
-    return TRACE_PATH
+    return written
 
 
 class Testbed(_BaseTestbed):
-    """The paper testbed, plus a per-bed tracer when --trace is on."""
+    """The paper testbed, plus a per-bed tracer when --trace-out or
+    --breakdown is on."""
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
-        if TRACE_PATH:
+        self.tracer = None
+        if TRACE_PATH or BREAKDOWN_PATH:
             from repro.obs import Tracer
-            tracer = Tracer(self.sim, name=f"bed{len(_tracers)}")
-            tracer.attach_nic(self.server.nic)
+            self.tracer = Tracer(self.sim, name=f"bed{len(_tracers)}")
+            self.tracer.attach_nic(self.server.nic)
             for client in self.clients:
-                tracer.attach_nic(client.nic)
-            _tracers.append(tracer)
+                self.tracer.attach_nic(client.nic)
+            _tracers.append(self.tracer)
 
 
 def run_once(benchmark, fn: Callable[[], Dict]) -> Dict:

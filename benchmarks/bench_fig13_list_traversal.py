@@ -12,7 +12,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import Testbed, print_comparison, run_once
+from _common import Testbed, mark_request, print_comparison, run_once
 
 from repro.apps import RpcServer, STATUS_OK
 from repro.bench.stats import summarize
@@ -70,9 +70,14 @@ def measure_redn(key_range: int, use_break: bool) -> dict:
             if use_break:
                 offload.post_instances(1)
             wr_start = bed.server.nic.stats.get("total_wrs", 0)
+            call_start = bed.sim.now
             result = yield from client.call(offload.payload_for(key),
                                             timeout_ns=60_000_000)
             assert result.ok, (key_range, key)
+            mark_request(
+                bed,
+                f"fig13:{'break' if use_break else 'plain'}:"
+                f"r{key_range}", call_start)
             latencies.append(result.latency_ns)
             if use_break:
                 # Break stops the chain at the hit: everything the NIC

@@ -11,7 +11,13 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import Testbed, print_comparison, run_once, within_factor
+from _common import (
+    Testbed,
+    mark_request,
+    print_comparison,
+    run_once,
+    within_factor,
+)
 
 from repro.ibv import (
     VerbsContext,
@@ -39,12 +45,13 @@ SAMPLES = 50
 IO_SIZE = 64
 
 
-def _measure(bed, qp, verbs, make_wqe):
+def _measure(bed, qp, verbs, make_wqe, label):
     def run():
         latencies = []
         for _ in range(SAMPLES):
             start = bed.sim.now
             yield from verbs.execute_sync_checked(qp, make_wqe())
+            mark_request(bed, f"verb:{label}", start)
             latencies.append(bed.sim.now - start
                              - verbs.post_overhead_ns)
         return latencies
@@ -69,26 +76,27 @@ def scenario():
 
     results = {}
     results["WRITE"] = _measure(bed, client_qp, verbs, lambda: wr_write(
-        local_buf.addr, IO_SIZE, remote.addr, remote_mr.rkey))
+        local_buf.addr, IO_SIZE, remote.addr, remote_mr.rkey), "WRITE")
     results["READ"] = _measure(bed, client_qp, verbs, lambda: wr_read(
-        local_buf.addr, IO_SIZE, remote.addr, remote_mr.rkey))
+        local_buf.addr, IO_SIZE, remote.addr, remote_mr.rkey), "READ")
     results["CAS"] = _measure(bed, client_qp, verbs, lambda: wr_cas(
         remote.addr, remote_mr.rkey, 0, 1,
-        result_laddr=local_buf.addr))
+        result_laddr=local_buf.addr), "CAS")
     results["ADD"] = _measure(bed, client_qp, verbs,
                               lambda: wr_fetch_add(
                                   remote.addr, remote_mr.rkey, 1,
-                                  result_laddr=local_buf.addr))
+                                  result_laddr=local_buf.addr), "ADD")
     results["MAX"] = _measure(bed, client_qp, verbs, lambda: wr_calc(
         Opcode.MAX, remote.addr, remote_mr.rkey, 5,
-        result_laddr=local_buf.addr))
+        result_laddr=local_buf.addr), "MAX")
     results["NOOP"] = _measure(bed, client_qp, verbs,
-                               lambda: wr_noop(signaled=True))
+                               lambda: wr_noop(signaled=True), "NOOP")
 
     # Loopback NOOP (right-hand side of Fig 7): network cost estimate.
     lo_a, _lo_b = bed.server.nic.create_loopback_pair(server_pd)
     results["NOOP (loopback)"] = _measure(bed, lo_a, verbs,
-                                          lambda: wr_noop(signaled=True))
+                                          lambda: wr_noop(signaled=True),
+                                          "NOOP-loopback")
     results["network_rtt_us"] = results["NOOP"] - results["NOOP (loopback)"]
     return results
 

@@ -1,4 +1,4 @@
-"""Benchmark-suite options: ``--trace-out OUT.json``.
+"""Benchmark-suite options: ``--trace-out OUT.json`` / ``--breakdown``.
 
 Running any benchmark with ``--trace-out`` attaches a
 :class:`repro.obs.Tracer` to every :class:`Testbed` the benchmark
@@ -7,6 +7,12 @@ load it at https://ui.perfetto.dev or feed it to
 ``tools/trace_inspect.py``. The ``REPRO_TRACE`` environment variable
 is an equivalent knob for non-pytest entry points. (The bare
 ``--trace`` spelling is taken by pytest's built-in debugger hook.)
+
+``--breakdown [OUT.json]`` (default ``BENCH_breakdown.json``, env
+``REPRO_BREAKDOWN``) additionally runs the critical-path profiler over
+every recorded request window (offload ``call:`` spans and the
+``mark_request`` samples benchmarks emit) and writes the per-phase
+latency attributions — what CI gates per-component regressions on.
 """
 
 import sys
@@ -22,12 +28,20 @@ def pytest_addoption(parser):
         "--trace-out", default=None, metavar="OUT.json",
         help="record a Chrome/Perfetto trace of every simulated NIC "
              "to this file")
+    parser.addoption(
+        "--breakdown", nargs="?", const="BENCH_breakdown.json",
+        default=None, metavar="OUT.json",
+        help="write per-request critical-path phase attributions "
+             "(default BENCH_breakdown.json)")
 
 
 def pytest_configure(config):
     path = config.getoption("--trace-out", default=None)
     if path:
         _common.set_trace_output(path)
+    breakdown = config.getoption("--breakdown", default=None)
+    if breakdown:
+        _common.set_breakdown_output(breakdown)
 
 
 def pytest_unconfigure(config):

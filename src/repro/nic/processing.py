@@ -206,7 +206,7 @@ class SendQueueDriver:
             if _obs.enabled:
                 tracer = sim.tracer
                 if tracer is not None:
-                    tracer.enable_event(wq, wqe, relative)
+                    tracer.enable_event(wq, wqe, relative, target)
             self._signal_if_requested(wqe, wr_index)
             return
 

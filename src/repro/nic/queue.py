@@ -105,7 +105,7 @@ class CompletionQueue:
         if _obs.enabled:
             tracer = self.sim.tracer
             if tracer is not None:
-                tracer.cqe(self, cqe)
+                tracer.cqe(self, cqe, host_delay_ns)
         if self._watchers:
             ready = [(n, ev) for n, ev in self._watchers if self.count >= n]
             if ready:

@@ -83,12 +83,28 @@ class VerbExecutor:
         nic = src_qp.nic
         timing = nic.timing
         port = nic.ports[src_qp.port_index]
+        start = nic.sim.now
         serialization = timing.payload_wire_ns(nbytes + _HEADER_BYTES)
         if serialization > 0:
             yield from port.wire.use(serialization)
         latency = nic.link_latency_to(src_qp.peer.nic)
         if latency > 0:
             yield Timeout(nic.sim, latency)
+        if _obs.enabled:
+            tracer = nic.sim.tracer
+            if tracer is not None:
+                tracer.wire_span(nic, src_qp.peer.nic, nbytes, start)
+
+    def _dma_txn(self, nic: "RNIC", kind: str, ns: int) -> Generator:
+        """One posted/non-posted DMA transaction latency (a dma span)."""
+        if ns <= 0:
+            return
+        start = nic.sim.now
+        yield Timeout(nic.sim, ns)
+        if _obs.enabled:
+            tracer = nic.sim.tracer
+            if tracer is not None:
+                tracer.dma_txn(nic, kind, start)
 
     def _dma_in(self, nic: "RNIC", nbytes: int) -> Generator:
         """Initiator/responder DMA of a payload across PCIe (gather)."""
@@ -148,7 +164,7 @@ class VerbExecutor:
         peer.pd.validate_remote(wqe.rkey, wqe.raddr, max(1, wqe.length),
                                 AccessFlags.REMOTE_WRITE)
         # Posted DMA write of the payload into responder memory.
-        yield Timeout(nic.sim, timing.dma_posted_ns)
+        yield from self._dma_txn(rnic, "posted", timing.dma_posted_ns)
         yield from self._dma_in(rnic, wqe.length)
         if wqe.length:
             rnic.memory.write(wqe.raddr, data)
@@ -172,7 +188,8 @@ class VerbExecutor:
         peer.pd.validate_remote(wqe.rkey, wqe.raddr, max(1, wqe.length),
                                 AccessFlags.REMOTE_READ)
         # Non-posted DMA read on the responder.
-        yield Timeout(nic.sim, timing.dma_nonposted_ns)
+        yield from self._dma_txn(rnic, "nonposted",
+                                 timing.dma_nonposted_ns)
         yield from self._dma_in(rnic, wqe.length)
         data = rnic.memory.read(wqe.raddr, wqe.length) if wqe.length else b""
         yield from self._traverse(peer, wqe.length)  # response
@@ -229,7 +246,8 @@ class VerbExecutor:
             recv_wq.consume_lock.release(grant)
         written = byte_len
         if payload is not None:
-            yield Timeout(rnic.sim, timing.dma_posted_ns)
+            yield from self._dma_txn(rnic, "posted",
+                                     timing.dma_posted_ns)
             yield from self._dma_in(rnic, len(payload))
             written = self._scatter_bytes(
                 rnic, payload, recv_wqe.sges, recv_wqe.laddr,
@@ -252,6 +270,7 @@ class VerbExecutor:
                                 AccessFlags.REMOTE_ATOMIC)
         port = rnic.ports[peer.port_index]
         grant = yield port.atomic_unit.acquire()
+        txn_start = nic.sim.now
         yield Timeout(nic.sim, timing.atomic_unit_ns)
         if wqe.opcode == Opcode.CAS:
             original = rnic.memory.compare_and_swap_u64(
@@ -267,6 +286,10 @@ class VerbExecutor:
         remaining = timing.atomic_pcie_ns - timing.atomic_unit_ns
         if remaining > 0:
             yield Timeout(nic.sim, remaining)
+        if _obs.enabled:
+            tracer = nic.sim.tracer
+            if tracer is not None:
+                tracer.dma_txn(rnic, "atomic", txn_start)
         yield from self._traverse(peer, 8)  # original value returns
         if wqe.laddr:
             nic.memory.write_u64(wqe.laddr, original)
@@ -287,7 +310,8 @@ class VerbExecutor:
         peer.pd.validate_remote(wqe.rkey, wqe.raddr, 8,
                                 AccessFlags.REMOTE_WRITE
                                 | AccessFlags.REMOTE_READ)
-        yield Timeout(nic.sim, timing.dma_nonposted_ns + timing.calc_alu_ns)
+        yield from self._dma_txn(
+            rnic, "calc", timing.dma_nonposted_ns + timing.calc_alu_ns)
         original = rnic.memory.read_u64(wqe.raddr)
         if wqe.opcode == Opcode.MAX:
             result = max(original, wqe.operand0)

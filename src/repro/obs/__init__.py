@@ -18,7 +18,15 @@ Two pieces, both zero-cost when disabled:
   :class:`~repro.sim.core.Simulator` owns one lazily
   (``sim.metrics``); the RNIC and its send-queue drivers register
   their counters there, so one snapshot covers kernel, device and
-  driver state.
+  driver state. Exportable as OpenMetrics/Prometheus text via
+  :meth:`MetricsRegistry.to_openmetrics`.
+
+A third piece, ``repro.obs.critpath``, is pure post-processing: it
+rebuilds the causal DAG over a recorded trace's events per request,
+computes the critical path, and attributes every nanosecond of a
+request to exactly one typed phase (``queueing``/``fetch``/
+``wait_blocked``/``pu_exec``/``dma``/``wire``/``cqe``) — see
+``tools/latency_profile.py``.
 
 Fast path
 ---------
@@ -48,11 +56,19 @@ __all__ = [
     "export_merged_chrome",
     "MetricsRegistry",
     "Histogram",
+    "parse_openmetrics",
     "TraceData",
     "load_trace",
     "summarize_trace",
     "race_report",
     "wq_timeline",
+    "track_summary",
+    "PHASES",
+    "CritPathProfile",
+    "RequestProfile",
+    "profile_tracer",
+    "profile_trace",
+    "sync_counts",
 ]
 
 #: Module-level fast-path flag: False means every instrumentation site
@@ -84,11 +100,19 @@ _LAZY = {
     "export_merged_chrome": "tracer",
     "MetricsRegistry": "metrics",
     "Histogram": "metrics",
+    "parse_openmetrics": "metrics",
     "TraceData": "inspect",
     "load_trace": "inspect",
     "summarize_trace": "inspect",
     "race_report": "inspect",
     "wq_timeline": "inspect",
+    "track_summary": "inspect",
+    "PHASES": "critpath",
+    "CritPathProfile": "critpath",
+    "RequestProfile": "critpath",
+    "profile_tracer": "critpath",
+    "profile_trace": "critpath",
+    "sync_counts": "critpath",
 }
 
 

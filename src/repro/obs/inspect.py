@@ -13,8 +13,8 @@ from collections import Counter
 from typing import Any, Dict, List, Optional
 
 __all__ = ["TraceData", "load_trace", "summarize_trace", "race_report",
-           "wq_timeline", "render_summary", "render_races",
-           "render_timeline"]
+           "wq_timeline", "track_summary", "render_summary",
+           "render_races", "render_timeline", "render_track_summary"]
 
 
 class TraceData:
@@ -89,6 +89,35 @@ def summarize_trace(data: TraceData) -> Dict[str, Any]:
     }
 
 
+def track_summary(data: TraceData) -> List[Dict[str, Any]]:
+    """Per-track event counts and first/last timestamps.
+
+    One entry per track that carries events, sorted by track name —
+    enough to sanity-check a trace without opening Perfetto: did every
+    expected queue/PU/port track record anything, and when?
+    """
+    tracks: Dict[str, Dict[str, Any]] = {}
+    for event in data.events:
+        name = data.track_name(event)
+        entry = tracks.get(name)
+        if entry is None:
+            entry = tracks[name] = {
+                "track": name, "events": 0,
+                "first_us": None, "last_us": None,
+                "names": Counter(),
+            }
+        entry["events"] += 1
+        entry["names"][event.get("name", "?")] += 1
+        ts = event.get("ts")
+        if ts is not None:
+            end = ts + event.get("dur", 0)
+            if entry["first_us"] is None or ts < entry["first_us"]:
+                entry["first_us"] = ts
+            if entry["last_us"] is None or end > entry["last_us"]:
+                entry["last_us"] = end
+    return [tracks[name] for name in sorted(tracks)]
+
+
 def race_report(data: TraceData) -> List[Dict[str, Any]]:
     """Every self_mod / stale_wqe event, normalized and time-ordered."""
     report = []
@@ -146,6 +175,23 @@ def render_summary(data: TraceData) -> str:
     lines.append("")
     lines.append(f"self-modification events: {races['self_mod']}   "
                  f"stale-fetch races: {races['stale_wqe']}")
+    return "\n".join(lines)
+
+
+def render_track_summary(data: TraceData) -> str:
+    summary = track_summary(data)
+    if not summary:
+        return "trace carries no events"
+    lines = [f"{'track':44s} {'events':>8s} {'first_us':>12s} "
+             f"{'last_us':>12s}  busiest"]
+    for entry in summary:
+        first = (f"{entry['first_us']:.3f}"
+                 if entry["first_us"] is not None else "-")
+        last = (f"{entry['last_us']:.3f}"
+                if entry["last_us"] is not None else "-")
+        name, count = entry["names"].most_common(1)[0]
+        lines.append(f"{entry['track']:44s} {entry['events']:>8d} "
+                     f"{first:>12s} {last:>12s}  {name} x{count}")
     return "\n".join(lines)
 
 

@@ -26,7 +26,24 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Callable, Dict, List
 
-__all__ = ["MetricsRegistry", "Histogram"]
+__all__ = ["MetricsRegistry", "Histogram", "parse_openmetrics"]
+
+
+def _om_name(name: str) -> str:
+    """A registry name as an OpenMetrics metric name.
+
+    Dots (our namespacing) and anything else outside [a-zA-Z0-9_]
+    become underscores; a leading digit gets prefixed.
+    """
+    sanitized = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                        for ch in name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _om_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
 
 
 class Histogram:
@@ -138,3 +155,121 @@ class MetricsRegistry:
                            for name, histogram
                            in sorted(self._histograms.items())},
         }
+
+    def to_openmetrics(self) -> str:
+        """The registry in OpenMetrics/Prometheus text format.
+
+        Counter families become one ``<name>_total`` series per key
+        (the key as a ``key`` label), gauges become bare samples (only
+        numeric gauge values are exported), histograms become the
+        standard cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count``
+        series using the power-of-two bucket upper bounds. Output is
+        deterministic (sorted) and ends with the ``# EOF`` marker.
+        """
+        lines: List[str] = []
+        for name, counter in sorted(self._counters.items()):
+            metric = _om_name(name)
+            lines.append(f"# TYPE {metric} counter")
+            for key, value in sorted(counter.items()):
+                lines.append(
+                    f'{metric}_total{{key="{_om_label(str(key))}"}} '
+                    f"{value}")
+        for name, fn in sorted(self._gauges.items()):
+            value = fn()
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                continue
+            metric = _om_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {value}")
+        for name, histogram in sorted(self._histograms.items()):
+            metric = _om_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bucket, bucket_count in enumerate(histogram.counts):
+                if bucket_count:
+                    cumulative += bucket_count
+                    upper = (1 << bucket) - 1 if bucket else 0
+                    lines.append(
+                        f'{metric}_bucket{{le="{upper}"}} {cumulative}')
+            lines.append(
+                f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
+            lines.append(f"{metric}_sum {histogram.total}")
+            lines.append(f"{metric}_count {histogram.count}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+
+def _om_value(text: str):
+    number = float(text)
+    return int(number) if number.is_integer() else number
+
+
+def parse_openmetrics(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse :meth:`MetricsRegistry.to_openmetrics` output back.
+
+    Returns ``{"counters": {name: {key: value}}, "gauges": {name:
+    value}, "histograms": {name: {"count", "sum", "buckets"}}}`` with
+    histogram buckets de-cumulated back to ``le_<upper>`` counts — the
+    exact shape :meth:`Histogram.snapshot` uses, so round-trip tests
+    can compare directly against a snapshot.
+    """
+    types: Dict[str, str] = {}
+    counters: Dict[str, Dict[str, Any]] = {}
+    gauges: Dict[str, Any] = {}
+    raw_hists: Dict[str, Dict[str, Any]] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) == 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        series, _, value_text = line.rpartition(" ")
+        value = _om_value(value_text)
+        labels: Dict[str, str] = {}
+        if "{" in series:
+            series, _, label_text = series.partition("{")
+            for item in label_text.rstrip("}").split(","):
+                key, _, quoted = item.partition("=")
+                labels[key] = quoted.strip('"').replace('\\"', '"') \
+                    .replace("\\\\", "\\")
+        for suffix, family in (("_bucket", "histogram"),
+                               ("_sum", "histogram"),
+                               ("_count", "histogram"),
+                               ("_total", "counter")):
+            base = series[:-len(suffix)] if series.endswith(suffix) else None
+            if base and types.get(base) == family:
+                if family == "counter":
+                    counters.setdefault(base, {})[
+                        labels.get("key", "")] = value
+                else:
+                    hist = raw_hists.setdefault(
+                        base, {"count": 0, "sum": 0, "buckets": {}})
+                    if suffix == "_sum":
+                        hist["sum"] = value
+                    elif suffix == "_count":
+                        hist["count"] = value
+                    else:
+                        hist["buckets"][labels.get("le", "+Inf")] = value
+                break
+        else:
+            if types.get(series) == "gauge":
+                gauges[series] = value
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for name, hist in raw_hists.items():
+        finite = sorted(
+            ((int(le), cum) for le, cum in hist["buckets"].items()
+             if le != "+Inf"),
+            key=lambda item: item[0])
+        buckets = {}
+        previous = 0
+        for upper, cumulative in finite:
+            if cumulative > previous:
+                buckets[f"le_{upper}"] = cumulative - previous
+            previous = cumulative
+        histograms[name] = {"count": hist["count"], "sum": hist["sum"],
+                            "buckets": buckets}
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}

@@ -144,6 +144,7 @@ class Tracer:
             for pu_index in range(len(port.pus)):
                 self._tid(pid, f"port{port.index}/pu{pu_index}")
         self._tid(pid, "pcie")
+        self._tid(pid, "wire")
         self._tid(pid, "atomics")
         self.attach_memory(nic.memory)
         for cq in nic.cqs.values():
@@ -301,11 +302,14 @@ class Tracer:
         self._append("i", "sync", "WAIT.wake", pid, tid, now,
                      args={"cq_num": wqe.target})
 
-    def enable_event(self, wq, wqe, relative: bool) -> None:
+    def enable_event(self, wq, wqe, relative: bool, target=None) -> None:
+        args = {"target_wq": wqe.target,
+                "count": wqe.wqe_count, "relative": relative}
+        if target is not None:
+            args["target_name"] = target.name
         pid, tid = self._wq_track(wq)
         self._append("i", "sync", "ENABLE", pid, tid, self.sim.now,
-                     args={"target_wq": wqe.target,
-                           "count": wqe.wqe_count, "relative": relative})
+                     args=args)
 
     def wqe_executed(self, wq, wr_index: int, wqe, status: str,
                      start_ns: int) -> None:
@@ -318,7 +322,7 @@ class Tracer:
 
     # -- completion / data-path events ---------------------------------------
 
-    def cqe(self, cq, cqe) -> None:
+    def cqe(self, cq, cqe, host_delay_ns: int = 0) -> None:
         pid = self._cq_pids.get(id(cq))
         if pid is None:
             pid = self._pid("orphan-queues")
@@ -326,7 +330,15 @@ class Tracer:
         now = self.sim.now
         self._append("i", "cqe", f"cqe:{_op_name(cqe.opcode)}", pid, tid,
                      now, args={"wr_id": cqe.wr_id, "status": cqe.status,
-                                "wq_num": cqe.wq_num})
+                                "wq_num": cqe.wq_num,
+                                "cq_num": cq.cq_num, "count": cq.count})
+        if host_delay_ns > 0:
+            # The posted DMA that carries the CQE to host memory: the
+            # monotonic counter (WAIT verbs) bumped at span start, the
+            # host poller sees the entry at span end.
+            self._append("X", "cqe", "cqe_dma", pid, tid, now,
+                         dur=host_delay_ns,
+                         args={"wr_id": cqe.wr_id, "cq_num": cq.cq_num})
         self._append("C", "cqe", f"cq:{cq.name}", pid, tid, now,
                      args={"completions": cq.count})
 
@@ -349,6 +361,21 @@ class Tracer:
         self._append("X", "dma", f"dma[{nbytes}B]", pid, tid, start_ns,
                      dur=self.sim.now - start_ns, args={"bytes": nbytes})
 
+    def dma_txn(self, nic, kind: str, start_ns: int) -> None:
+        """A posted/non-posted PCIe transaction latency window."""
+        pid = self.attach_nic(nic)
+        tid = self._tid(pid, "pcie")
+        self._append("X", "dma", f"dma:{kind}", pid, tid, start_ns,
+                     dur=self.sim.now - start_ns, args={"kind": kind})
+
+    def wire_span(self, nic, dst_nic, nbytes: int, start_ns: int) -> None:
+        """One message's serialization + link traversal (never loopback)."""
+        pid = self.attach_nic(nic)
+        tid = self._tid(pid, "wire")
+        self._append("X", "wire", f"wire[{nbytes}B]", pid, tid, start_ns,
+                     dur=self.sim.now - start_ns,
+                     args={"bytes": nbytes, "dst": dst_nic.name})
+
     def offload_call(self, conn, start_ns: int, ok: bool,
                      byte_len: int) -> None:
         pid = self.attach_nic(conn.client_nic)
@@ -356,6 +383,18 @@ class Tracer:
         self._append("X", "offload", f"call:{conn.name}", pid, tid,
                      start_ns, dur=self.sim.now - start_ns,
                      args={"ok": ok, "bytes": byte_len})
+
+    def request_span(self, label: str, start_ns: int,
+                     args: Optional[Dict[str, Any]] = None) -> None:
+        """An application-defined request window (benchmark samples).
+
+        The critical-path profiler treats each such span — like each
+        offload ``call:`` span — as one request to attribute.
+        """
+        pid = self._pid(self.name)
+        tid = self._tid(pid, "requests")
+        self._append("X", "request", label, pid, tid, start_ns,
+                     dur=self.sim.now - start_ns, args=args)
 
     def _dram_store(self, memory, addr: int, length: int) -> None:
         regions = self._regions.get(id(memory))

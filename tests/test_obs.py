@@ -14,10 +14,13 @@ from repro.obs import (
     MetricsRegistry,
     Tracer,
     load_trace,
+    parse_openmetrics,
     race_report,
     summarize_trace,
+    track_summary,
     wq_timeline,
 )
+from repro.obs.inspect import render_track_summary
 from repro.redn import ProgramBuilder, RecycledLoop, RednContext
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -125,6 +128,26 @@ class TestHistogram:
         snap = histogram.snapshot()
         assert snap["buckets"] == {"le_15": 1}
 
+    def test_quantile_fraction_bounds(self):
+        histogram = Histogram("h")
+        histogram.observe(1)
+        for fraction in (0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                histogram.quantile(fraction)
+        assert histogram.quantile(1.0) == 1
+
+    def test_quantile_all_zeros(self):
+        histogram = Histogram("h")
+        for _ in range(3):
+            histogram.observe(0)
+        assert histogram.quantile(0.5) == 0
+        assert histogram.quantile(1.0) == 0
+
+    def test_empty_snapshot(self):
+        assert Histogram("h").snapshot() == {
+            "count": 0, "sum": 0, "min": None, "max": None,
+            "buckets": {}}
+
 
 class TestMetricsRegistry:
     def test_counter_get_or_create(self):
@@ -173,6 +196,50 @@ class TestMetricsRegistry:
         assert sum(snap[key].get("fetch_prefetched", 0)
                    + snap[key].get("fetch_managed", 0)
                    for key in fetch_keys) >= 4
+
+
+class TestOpenMetrics:
+    def _registry(self):
+        registry = MetricsRegistry()
+        wrs = registry.counter("nic.a.wrs")
+        wrs["WRITE"] += 3
+        wrs['odd"key\\'] += 1
+        registry.gauge("sim.now", lambda: 42)
+        registry.gauge("sim.label", lambda: "not-numeric")
+        histogram = registry.histogram("lat.ns")
+        for value in (0, 3, 3, 900):
+            histogram.observe(value)
+        return registry
+
+    def test_round_trip_matches_snapshot(self):
+        registry = self._registry()
+        parsed = parse_openmetrics(registry.to_openmetrics())
+        snapshot = registry.snapshot()
+        assert parsed["counters"]["nic_a_wrs"] == \
+            snapshot["counters"]["nic.a.wrs"]
+        assert parsed["gauges"] == {"sim_now": 42}
+        hist = parsed["histograms"]["lat_ns"]
+        reference = snapshot["histograms"]["lat.ns"]
+        assert hist["count"] == reference["count"]
+        assert hist["sum"] == reference["sum"]
+        assert hist["buckets"] == reference["buckets"]
+
+    def test_text_format_conventions(self):
+        text = self._registry().to_openmetrics()
+        assert text.endswith("# EOF\n")
+        assert "# TYPE nic_a_wrs counter" in text
+        assert '\nnic_a_wrs_total{key="WRITE"} 3\n' in text
+        assert '\nlat_ns_bucket{le="+Inf"} 4\n' in text
+        assert "not-numeric" not in text
+        # Buckets are cumulative: zeros bucket (1) then [2,4) adds 2.
+        assert '\nlat_ns_bucket{le="0"} 1\n' in text
+        assert '\nlat_ns_bucket{le="3"} 3\n' in text
+
+    def test_live_registry_exports(self, lo):
+        drive_write_chain(lo, count=2)
+        parsed = parse_openmetrics(lo.sim.metrics.to_openmetrics())
+        assert parsed["counters"]["nic_nic_wrs"]["WRITE"] == 2
+        assert parsed["gauges"]["sim_now"] == lo.sim.now
 
 
 # -- tracer ----------------------------------------------------------------
@@ -252,6 +319,130 @@ class TestTracerEvents:
         atomics = [event for event in tracer.events if event[1] == "atomic"]
         assert atomics
         assert any(event[2] == "FETCH_ADD" for event in atomics)
+
+
+class TestWaitEnableSpanEdges:
+    """Satellite: WAIT/ENABLE span edge semantics in the tracer."""
+
+    @pytest.fixture
+    def traced(self, lo):
+        tracer = Tracer(lo.sim, name="test")
+        tracer.attach_nic(lo.nic)
+        yield lo, tracer
+        tracer.close()
+
+    def _drive_wait(self, lo, presatisfied: bool):
+        wq_a = lo.qp_a.send_wq
+        scq_b = lo.qp_b.send_wq.cq
+
+        def run():
+            if presatisfied:
+                yield from lo.verbs.execute_sync_checked(
+                    lo.qp_b, wr_noop(signaled=True))
+            wq_a.post(wr_wait(scq_b.cq_num, 1))
+            wq_a.post(wr_noop(signaled=True))
+            if not presatisfied:
+                yield lo.sim.timeout(5_000)
+                yield from lo.verbs.execute_sync_checked(
+                    lo.qp_b, wr_noop(signaled=True))
+            yield lo.sim.timeout(30_000)
+
+        lo.run(run())
+
+    def _wait_spans(self, tracer):
+        return [event for event in tracer.events
+                if event[0] == "X" and event[2] == "WAIT"]
+
+    def test_wait_satisfied_at_post_is_bookkeeping_only(self, traced):
+        """A WAIT whose threshold is already met when it executes spans
+        exactly the wait_check bookkeeping time — no blocked interval."""
+        lo, tracer = traced
+        self._drive_wait(lo, presatisfied=True)
+        (span,) = self._wait_spans(tracer)
+        assert span[6] == lo.nic.timing.wait_check_ns
+        assert span[7]["count"] == 1
+
+    def test_wait_blocked_spans_the_blocked_interval(self, traced):
+        lo, tracer = traced
+        self._drive_wait(lo, presatisfied=False)
+        (span,) = self._wait_spans(tracer)
+        # Blocked from execute until the trigger's CQE ~5us later.
+        assert span[6] > 4_000
+        wakes = [event for event in tracer.events
+                 if event[2] == "WAIT.wake"]
+        assert len(wakes) == 1
+        assert wakes[0][5] == span[5] + span[6]  # wake at span end
+
+    def test_rearmed_wait_counts_increase(self, traced):
+        """The recycled loop's ADD re-arms the head WAIT with a bumped
+        threshold each lap: spans record the rewritten wqe_count."""
+        lo, tracer = traced
+        laps = 3
+        drive_recycled_loop(lo, laps=laps)
+        spans = self._wait_spans(tracer)
+        head_track = spans[0][3], spans[0][4]
+        counts = [span[7]["count"] for span in spans
+                  if (span[3], span[4]) == head_track]
+        assert counts == list(range(1, len(counts) + 1))
+        assert len(counts) >= laps
+
+    def test_enable_records_target_queue_name(self, traced):
+        lo, tracer = traced
+        drive_recycled_loop(lo, laps=2)
+        enables = [event for event in tracer.events
+                   if event[2] == "ENABLE"]
+        assert enables
+        for event in enables:
+            assert isinstance(event[7]["target_name"], str)
+            assert event[7]["target_name"]
+
+
+class TestDataPathSpans:
+    """cqe_dma / dma-transaction / wire spans feeding the profiler."""
+
+    def test_cqe_dma_span_on_signaled_completion(self, lo):
+        tracer = Tracer(lo.sim, name="test")
+        tracer.attach_nic(lo.nic)
+        try:
+            drive_write_chain(lo, count=1)
+            spans = [event for event in tracer.events
+                     if event[2] == "cqe_dma"]
+            assert spans
+            assert all(event[6] == lo.nic.timing.cqe_dma_ns
+                       for event in spans)
+        finally:
+            tracer.close()
+
+    def test_dma_txn_and_wire_spans_remote(self, rig):
+        tracer = Tracer(rig.sim, name="test")
+        tracer.attach_nic(rig.nic_a)
+        tracer.attach_nic(rig.nic_b)
+        try:
+            src, _ = rig.buffer("a", 64)
+            dst, dst_mr = rig.buffer("b", 64)
+            rig.run(rig.verbs.execute_sync_checked(
+                rig.qp_a, wr_write(src.addr, 64, dst.addr, dst_mr.rkey,
+                                   signaled=True)))
+            names = {event[2] for event in tracer.events}
+            assert "dma:posted" in names
+            wires = [event for event in tracer.events
+                     if event[1] == "wire"]
+            assert wires
+            # Request carries the 64B payload; the ack is header-only.
+            assert any(event[7]["bytes"] == 64 for event in wires)
+            assert all(event[6] > 0 for event in wires)
+        finally:
+            tracer.close()
+
+    def test_no_wire_spans_on_loopback(self, lo):
+        tracer = Tracer(lo.sim, name="test")
+        tracer.attach_nic(lo.nic)
+        try:
+            drive_write_chain(lo, count=2)
+            assert not [event for event in tracer.events
+                        if event[1] == "wire"]
+        finally:
+            tracer.close()
 
 
 # -- race inspector --------------------------------------------------------
@@ -335,6 +526,24 @@ class TestInspector:
         assert summary["span_us"] > 0
         assert summary["races"] == {"self_mod": 0, "stale_wqe": 0}
 
+    def test_track_summary_counts_and_order(self, traced):
+        lo, tracer = traced
+        drive_write_chain(lo, count=3)
+        data = load_trace(tracer.to_json())
+        rows = track_summary(data)
+        assert rows
+        assert any("wq:" in row["track"] for row in rows)
+        for row in rows:
+            assert row["events"] == sum(row["names"].values()) > 0
+            assert row["first_us"] <= row["last_us"]
+        # Sorted by track name; totals cover every timed event.
+        assert [row["track"] for row in rows] == \
+            sorted(row["track"] for row in rows)
+        rendered = render_track_summary(data)
+        assert "events" in rendered
+        for row in rows:
+            assert row["track"] in rendered
+
 
 class TestCli:
     def _run(self, *argv):
@@ -381,3 +590,29 @@ class TestCli:
         result = self._run(str(path), "--timeline", wq_name)
         assert result.returncode == 0
         assert wq_name in result.stdout
+
+    def test_summary_flag(self, traced, tmp_path):
+        path = self._export(traced, tmp_path,
+                            lambda lo: drive_write_chain(lo, count=2))
+        result = self._run(str(path), "--summary")
+        assert result.returncode == 0, result.stderr
+        assert "wq:" in result.stdout
+        as_json = self._run(str(path), "--summary", "--json")
+        assert as_json.returncode == 0
+        rows = json.loads(as_json.stdout)
+        assert rows and all("track" in row and "events" in row
+                            for row in rows)
+
+
+class TestMetricsExportCli:
+    def test_export_parses_back(self):
+        result = subprocess.run(
+            [sys.executable,
+             str(REPO_ROOT / "tools" / "metrics_export.py"),
+             "--offload", "hash-lookup", "--calls", "2"],
+            capture_output=True, text=True)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.endswith("# EOF\n")
+        parsed = parse_openmetrics(result.stdout)
+        assert parsed["histograms"]["obs_critpath_request_ns"]["count"] == 2
+        assert parsed["counters"]["nic_server_nic_wrs"]["total_wrs"] > 0

@@ -1,0 +1,325 @@
+#!/usr/bin/env python3
+"""latency_profile: causal critical-path latency breakdowns.
+
+Two input modes:
+
+* **A recorded trace** — profile a Chrome trace-event JSON written by
+  ``Tracer.export_chrome`` (or a benchmark's ``--trace-out``)::
+
+      PYTHONPATH=src python tools/latency_profile.py TRACE.json --top 5
+
+* **A built-in offload** — build a fresh simulated testbed, run one of
+  the RedN offloads under a tracer, and profile the live events::
+
+      PYTHONPATH=src python tools/latency_profile.py \
+          --offload hash-lookup --calls 8 --breakdown --flame out.folded
+
+Per request (each ``call:`` span) every simulated nanosecond is
+attributed to exactly one phase — ``queueing``, ``fetch``,
+``wait_blocked``, ``pu_exec``, ``dma``, ``wire``, ``cqe`` — so the
+per-phase columns always sum to the end-to-end latency. ``--path``
+additionally prints the reconstructed causal critical path.
+
+``--fail-if-phase phase>ns`` (repeatable) exits non-zero when any
+request spends more than ``ns`` in ``phase`` — a per-component
+latency regression gate for CI. ``--selfcheck`` verifies the
+profiler's own invariants: exact phase sums, and measured
+WAIT/ENABLE execution counts consistent with the static
+``chain_cost`` E-tally of the offload's chain program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.obs import PHASES  # noqa: E402
+
+CALL_GAP_NS = 50_000
+DRAIN_NS = 500_000
+
+
+# -- offload runners ----------------------------------------------------------
+
+
+def _drive_calls(bed, client, offload, keys, per_call_post: bool = False):
+    def scenario():
+        for index, key in enumerate(keys):
+            if per_call_post:
+                # Early-break chains tear their instance down after the
+                # hit (fig13's drive pattern): post one per call.
+                offload.post_instances(1)
+            result = yield from client.call(offload.payload_for(key),
+                                            timeout_ns=60_000_000)
+            assert result.ok, f"offload call for key {key:#x} failed"
+            if per_call_post:
+                offload.finish_request(index)
+            yield bed.sim.timeout(CALL_GAP_NS)
+        # Let straggling chain ops (unconsumed instances, CQE DMAs)
+        # finish so execution counts are settled before profiling.
+        yield bed.sim.timeout(DRAIN_NS)
+    bed.run(scenario())
+
+
+def _run_hash(calls: int, parallel: bool):
+    from repro.apps import MemcachedServer
+    from repro.bench import Testbed
+    from repro.obs import Tracer
+    from repro.redn.offload import OffloadClient
+
+    bed = Testbed(num_clients=1)
+    tracer = Tracer(bed.sim, name="hash-lookup")
+    store = MemcachedServer(bed.server)
+    keys = [0x30 + index for index in range(calls)]
+    for key in keys:
+        store.set(key, f"value-{key:#x}".encode(), force_bucket=0)
+    offload, conn = store.attach_get_offload(
+        bed.clients[0].nic, bed.client_pd(0), parallel=parallel,
+        max_instances=calls + 2)
+    offload.post_instances(calls)
+    client = OffloadClient(conn, bed.client_verbs(0))
+    _drive_calls(bed, client, offload, keys)
+    return {"bed": bed, "tracer": tracer,
+            "program": offload.builder.program, "relation": "exact"}
+
+
+def _run_list(calls: int, use_break: bool):
+    from repro.bench import Testbed
+    from repro.datastructs import LinkedList, SlabStore
+    from repro.obs import Tracer
+    from repro.offloads.list_traversal import ListTraversalOffload
+    from repro.redn import RednContext
+    from repro.redn.offload import OffloadClient, OffloadConnection
+
+    list_size = 8
+    bed = Testbed(num_clients=1)
+    tracer = Tracer(bed.sim, name="list-traversal")
+    proc = bed.server.spawn_process("list-server")
+    pd = proc.create_pd()
+    slab_alloc = proc.alloc(4 * 1024 * 1024, label="slab")
+    node_alloc = proc.alloc(64 * 1024, label="nodes")
+    data_mr = pd.register(node_alloc)
+    pd.register(slab_alloc)
+    slab = SlabStore(bed.server.memory, slab_alloc)
+    linked = LinkedList(bed.server.memory, node_alloc, slab)
+    keys = [0x100 + index for index in range(list_size)]
+    for key in keys:
+        linked.append(key, bytes([key & 0xFF]) * 64)
+    ctx = RednContext(bed.server.nic, pd, process=proc)
+    conn = OffloadConnection(ctx, bed.clients[0].nic, bed.client_pd(0),
+                             name="lp")
+    offload = ListTraversalOffload(ctx, linked, data_mr, conn,
+                                   max_nodes=list_size,
+                                   use_break=use_break)
+    if not use_break:
+        offload.post_instances(calls)
+    client = OffloadClient(conn, bed.client_verbs(0))
+    call_keys = [keys[index % list_size] for index in range(calls)]
+    _drive_calls(bed, client, offload, call_keys,
+                 per_call_post=use_break)
+    return {"bed": bed, "tracer": tracer,
+            "program": offload.builder.program,
+            "relation": "at-most" if use_break else "exact"}
+
+
+def _run_recycled(calls: int):
+    from repro.apps import MemcachedServer
+    from repro.bench import Testbed
+    from repro.obs import Tracer
+    from repro.offloads.recycled_get import (
+        RECYCLED_CONN_KWARGS,
+        RecycledHashGetOffload,
+    )
+    from repro.redn.offload import OffloadClient, OffloadConnection
+
+    bed = Testbed(num_clients=1)
+    tracer = Tracer(bed.sim, name="recycled-get")
+    store = MemcachedServer(bed.server)
+    keys = [0x50 + index for index in range(calls)]
+    for key in keys:
+        store.set(key, f"value-{key:#x}".encode(), force_bucket=0)
+    conn = OffloadConnection(store.ctx, bed.clients[0].nic,
+                             bed.client_pd(0), name="rg",
+                             **RECYCLED_CONN_KWARGS)
+    offload = RecycledHashGetOffload(store.ctx, store.table,
+                                     store.table_mr, conn)
+    offload.start()
+    client = OffloadClient(conn, bed.client_verbs(0))
+    _drive_calls(bed, client, offload, keys)
+    return {"bed": bed, "tracer": tracer,
+            "program": offload.builder.program, "relation": "recycled",
+            "offload": offload}
+
+
+OFFLOADS = {
+    "hash-lookup": lambda calls: _run_hash(calls, parallel=False),
+    "hash-lookup-par": lambda calls: _run_hash(calls, parallel=True),
+    "list-traversal": lambda calls: _run_list(calls, use_break=False),
+    "list-traversal-break":
+        lambda calls: _run_list(calls, use_break=True),
+    "recycled-get": _run_recycled,
+}
+
+
+# -- selfcheck ----------------------------------------------------------------
+
+
+def selfcheck(profile, run) -> list:
+    """Profiler invariants; returns a list of failure strings.
+
+    * every request's phase durations sum exactly to its end-to-end
+      latency (no unattributed gaps, no double counting);
+    * measured ordering-verb executions (completed WAIT spans + ENABLE
+      applications) are consistent with the static ``chain_cost``
+      E-tally of the chain program: equal for run-to-completion
+      offloads, bounded by it for early-``break`` variants, and a
+      whole multiple of the per-lap tally for the recycled ring.
+    """
+    from repro.redn.passes import chain_cost
+
+    failures = []
+    if not profile.requests:
+        failures.append("no requests found in trace")
+    for request in profile.requests:
+        phase_sum = sum(request.phases.values())
+        if phase_sum != request.total_ns:
+            failures.append(
+                f"{request.label}@{request.start}: phases sum to "
+                f"{phase_sum}ns, end-to-end is {request.total_ns}ns")
+    static = chain_cost(run["program"])
+    measured = profile.counts["E"]
+    relation = run["relation"]
+    if relation == "exact" and measured != static.ordering:
+        failures.append(
+            f"measured E={measured} != static chain_cost "
+            f"E={static.ordering}")
+    elif relation == "at-most" and not 0 < measured <= static.ordering:
+        failures.append(
+            f"measured E={measured} not in (0, static "
+            f"E={static.ordering}] for early-break chain")
+    elif relation == "recycled":
+        laps = run["offload"].laps
+        if measured != laps * static.ordering:
+            failures.append(
+                f"measured E={measured} != {laps} laps x per-lap "
+                f"static E={static.ordering}")
+    return failures
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _parse_phase_bound(text: str):
+    phase, sep, bound = text.partition(">")
+    if not sep or phase not in PHASES:
+        raise argparse.ArgumentTypeError(
+            f"expected PHASE>NS with PHASE in {', '.join(PHASES)}: "
+            f"{text!r}")
+    try:
+        return phase, int(bound)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad bound in {text!r}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace", nargs="?",
+                        help="Chrome trace JSON to profile")
+    parser.add_argument("--offload", choices=sorted(OFFLOADS),
+                        help="run a built-in offload and profile it")
+    parser.add_argument("--calls", type=int, default=8,
+                        help="offload calls to issue (default 8)")
+    parser.add_argument("--breakdown", action="store_true",
+                        help="print the per-request phase table "
+                             "(default when nothing else is selected)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full profile as JSON")
+    parser.add_argument("--flame", metavar="OUT.folded",
+                        help="write flamegraph folded stacks")
+    parser.add_argument("--top", type=int, metavar="N",
+                        help="only show the N slowest requests")
+    parser.add_argument("--path", action="store_true",
+                        help="print each request's causal critical path")
+    parser.add_argument("--fail-if-phase", metavar="PHASE>NS",
+                        type=_parse_phase_bound, action="append",
+                        default=[],
+                        help="exit 1 if any request exceeds NS in PHASE "
+                             "(repeatable)")
+    parser.add_argument("--selfcheck", action="store_true",
+                        help="verify exact phase sums and chain_cost "
+                             "E-count consistency")
+    parser.add_argument("--trace-out", metavar="OUT.json",
+                        help="also export the Chrome trace "
+                             "(--offload mode only)")
+    args = parser.parse_args(argv)
+
+    if bool(args.trace) == bool(args.offload):
+        parser.error("give exactly one of TRACE.json or --offload")
+
+    from repro.obs import profile_trace, profile_tracer
+
+    run = None
+    if args.offload:
+        run = OFFLOADS[args.offload](args.calls)
+        tracer = run["tracer"]
+        if args.trace_out:
+            count = tracer.export_chrome(args.trace_out)
+            print(f"wrote {count} events to {args.trace_out}",
+                  file=sys.stderr)
+        profile = profile_tracer(tracer)
+        profile.record_metrics(run["bed"].sim.metrics)
+    else:
+        if args.trace_out:
+            parser.error("--trace-out needs --offload")
+        if args.selfcheck:
+            parser.error("--selfcheck needs --offload (it compares "
+                         "against the built chain program)")
+        profile = profile_trace(args.trace)
+
+    status = 0
+    if args.selfcheck:
+        failures = selfcheck(profile, run)
+        for failure in failures:
+            print(f"SELFCHECK FAIL: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print(f"selfcheck ok: {len(profile.requests)} request(s), "
+                  f"exact phase sums, E={profile.counts['E']}",
+                  file=sys.stderr)
+
+    for phase, bound in args.fail_if_phase:
+        worst = max((request.phases[phase]
+                     for request in profile.requests), default=0)
+        if worst > bound:
+            print(f"FAIL: phase {phase} reached {worst}ns "
+                  f"(bound {bound}ns)", file=sys.stderr)
+            status = 1
+
+    if args.flame:
+        lines = profile.folded_lines()
+        Path(args.flame).write_text("\n".join(lines) + "\n")
+        print(f"wrote {len(lines)} folded stacks to {args.flame}",
+              file=sys.stderr)
+
+    if args.json:
+        print(profile.to_json())
+    elif args.breakdown or not (args.flame or args.fail_if_phase
+                                or args.selfcheck):
+        print(profile.render(top=args.top, show_path=args.path))
+    elif args.path:
+        print(profile.render(top=args.top, show_path=True))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""metrics_export: dump a simulation's metrics as OpenMetrics text.
+
+Runs one of the built-in offload scenarios (the same runners
+``latency_profile.py`` uses), folds the critical-path profiler's
+per-phase histograms into the simulator's MetricsRegistry, and writes
+the whole registry — kernel gauges, NIC/driver counters, histograms —
+in OpenMetrics/Prometheus text exposition format::
+
+    PYTHONPATH=src python tools/metrics_export.py                 # stdout
+    PYTHONPATH=src python tools/metrics_export.py -o metrics.prom
+    PYTHONPATH=src python tools/metrics_export.py --offload recycled-get
+
+The output is deterministic for a given scenario and parses back with
+``repro.obs.parse_openmetrics`` (the round-trip the test suite checks),
+so it can double as a golden artifact for dashboard ingestion tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+for path in (str(SRC), str(REPO_ROOT / "tools")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from latency_profile import OFFLOADS  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--offload", choices=sorted(OFFLOADS),
+                        default="hash-lookup",
+                        help="scenario to run (default hash-lookup)")
+    parser.add_argument("--calls", type=int, default=4,
+                        help="offload calls to issue (default 4)")
+    parser.add_argument("-o", "--output", metavar="FILE",
+                        help="write to FILE instead of stdout")
+    args = parser.parse_args(argv)
+
+    from repro.obs import profile_tracer
+
+    run = OFFLOADS[args.offload](args.calls)
+    registry = run["bed"].sim.metrics
+    profile_tracer(run["tracer"]).record_metrics(registry)
+    text = registry.to_openmetrics()
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {len(text.splitlines())} lines to {args.output}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,9 @@ Reads the Chrome trace-event JSON written by ``Tracer.export_chrome``
 
 * **summary** (default) — event counts per category and track, the
   simulated time span, and the race-inspector totals;
+* ``--summary`` — per-track event counts with first/last timestamps
+  (did every expected track record, and when?) — a sanity check that
+  needs no Perfetto;
 * ``--races`` — every self-modification (``self_mod``: WQE bytes
   rewritten between post and fetch — a RedN program editing itself)
   and stale-fetch race (``stale_wqe``: bytes rewritten between fetch
@@ -38,7 +41,9 @@ from repro.obs.inspect import (  # noqa: E402
     render_races,
     render_summary,
     render_timeline,
+    render_track_summary,
     summarize_trace,
+    track_summary,
     wq_timeline,
 )
 
@@ -48,6 +53,9 @@ def main(argv=None) -> int:
         description=__doc__.split("\n")[0],
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("trace", help="trace JSON file to inspect")
+    parser.add_argument("--summary", action="store_true",
+                        help="print per-track event counts and "
+                             "first/last timestamps")
     parser.add_argument("--races", action="store_true",
                         help="print the self-modification / stale-fetch "
                              "race report")
@@ -71,6 +79,13 @@ def main(argv=None) -> int:
             print(json.dumps(race_report(data), indent=2))
         else:
             print(render_races(data))
+    elif args.summary:
+        if args.json:
+            entries = [dict(entry, names=dict(entry["names"]))
+                       for entry in track_summary(data)]
+            print(json.dumps(entries, indent=2))
+        else:
+            print(render_track_summary(data))
     else:
         if args.json:
             print(json.dumps(summarize_trace(data), indent=2))
