@@ -13,6 +13,7 @@ Every benchmark follows the same pattern:
 from __future__ import annotations
 
 import os
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench import Testbed as _BaseTestbed
@@ -20,6 +21,7 @@ from repro.bench import render_table
 
 __all__ = ["run_once", "print_comparison", "Testbed", "within_factor",
            "set_trace_output", "set_breakdown_output", "flush_trace",
+           "set_journal_output", "set_history_output", "flush_history",
            "mark_request"]
 
 # -- optional tracing (pytest --trace OUT.json / REPRO_TRACE=OUT.json) ----
@@ -29,7 +31,13 @@ TRACE_PATH: Optional[str] = os.environ.get("REPRO_TRACE") or None
 #: Where to write the per-phase latency breakdown JSON, or None.
 BREAKDOWN_PATH: Optional[str] = \
     os.environ.get("REPRO_BREAKDOWN") or None
+#: Where to write the merged flight-recorder journal, or None.
+JOURNAL_PATH: Optional[str] = os.environ.get("REPRO_JOURNAL") or None
+#: Where to append this run's results (tools/bench_history.py format).
+HISTORY_PATH: Optional[str] = None
 _tracers: List = []
+_recorders: List = []
+_history_samples: Dict[str, Dict] = {}
 
 
 def set_trace_output(path: Optional[str]) -> None:
@@ -42,6 +50,20 @@ def set_breakdown_output(path: Optional[str]) -> None:
     """Enable critical-path breakdown output (implies tracing)."""
     global BREAKDOWN_PATH
     BREAKDOWN_PATH = path
+
+
+def set_journal_output(path: Optional[str]) -> None:
+    """Enable flight-recorder journaling for every Testbed built
+    after this call (pytest ``--journal OUT.jsonl``)."""
+    global JOURNAL_PATH
+    JOURNAL_PATH = path
+
+
+def set_history_output(path: Optional[str]) -> None:
+    """Record this session's benchmark results into a history file
+    (pytest ``--history [FILE]``, tools/bench_history.py format)."""
+    global HISTORY_PATH
+    HISTORY_PATH = path
 
 
 def mark_request(bed, label: str, start_ns: int) -> None:
@@ -82,28 +104,52 @@ def _write_breakdown(path: str) -> None:
 
 
 def flush_trace() -> Optional[str]:
-    """Write all pending outputs (trace, breakdown); returns the trace
-    path written, if any."""
-    global _tracers
-    if not _tracers:
-        return None
+    """Write all pending outputs (trace, breakdown, journal); returns
+    the trace path written, if any."""
+    global _tracers, _recorders
     written = None
-    if BREAKDOWN_PATH:
-        _write_breakdown(BREAKDOWN_PATH)
-    if TRACE_PATH:
-        from repro.obs import export_merged_chrome
-        count = export_merged_chrome(_tracers, TRACE_PATH)
-        print(f"\n[trace] wrote {count} events to {TRACE_PATH}")
-        written = TRACE_PATH
-    for tracer in _tracers:
-        tracer.close()
-    _tracers = []
+    if _tracers:
+        if BREAKDOWN_PATH:
+            _write_breakdown(BREAKDOWN_PATH)
+        if TRACE_PATH:
+            from repro.obs import export_merged_chrome
+            count = export_merged_chrome(_tracers, TRACE_PATH)
+            print(f"\n[trace] wrote {count} events to {TRACE_PATH}")
+            written = TRACE_PATH
+        for tracer in _tracers:
+            tracer.close()
+        _tracers = []
+    if _recorders:
+        if JOURNAL_PATH:
+            from repro.obs import export_merged_journal
+            count = export_merged_journal(_recorders, JOURNAL_PATH)
+            print(f"\n[journal] wrote {count} records to {JOURNAL_PATH}")
+        for recorder in _recorders:
+            recorder.close()
+        _recorders = []
     return written
+
+
+def flush_history() -> None:
+    """Append the session's collected benchmark results to the
+    history file, if ``--history`` was given."""
+    global _history_samples
+    if not HISTORY_PATH or not _history_samples:
+        return
+    import sys as _sys
+    tools = str(Path(__file__).resolve().parent.parent / "tools")
+    if tools not in _sys.path:
+        _sys.path.insert(0, tools)
+    from bench_history import append_entry
+    entry = append_entry(HISTORY_PATH, figs=_history_samples)
+    print(f"\n[history] recorded {entry['sha']} "
+          f"({len(_history_samples)} benchmark(s)) in {HISTORY_PATH}")
+    _history_samples = {}
 
 
 class Testbed(_BaseTestbed):
     """The paper testbed, plus a per-bed tracer when --trace-out or
-    --breakdown is on."""
+    --breakdown is on and a flight recorder when --journal is on."""
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -115,6 +161,15 @@ class Testbed(_BaseTestbed):
             for client in self.clients:
                 self.tracer.attach_nic(client.nic)
             _tracers.append(self.tracer)
+        self.recorder = None
+        if JOURNAL_PATH:
+            from repro.obs import FlightRecorder
+            self.recorder = FlightRecorder(
+                self.sim, name=f"bed{len(_recorders)}")
+            self.recorder.attach_nic(self.server.nic)
+            for client in self.clients:
+                self.recorder.attach_nic(client.nic)
+            _recorders.append(self.recorder)
 
 
 def run_once(benchmark, fn: Callable[[], Dict]) -> Dict:
@@ -129,6 +184,10 @@ def run_once(benchmark, fn: Callable[[], Dict]) -> Dict:
     for key, value in result.items():
         if isinstance(value, (int, float, str)):
             benchmark.extra_info[key] = value
+    if HISTORY_PATH:
+        _history_samples[benchmark.name] = {
+            key: value for key, value in result.items()
+            if isinstance(value, (int, float))}
     return result
 
 

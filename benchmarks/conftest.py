@@ -33,6 +33,15 @@ def pytest_addoption(parser):
         default=None, metavar="OUT.json",
         help="write per-request critical-path phase attributions "
              "(default BENCH_breakdown.json)")
+    parser.addoption(
+        "--journal", default=None, metavar="OUT.jsonl",
+        help="record a flight-recorder journal of every simulated "
+             "NIC to this file (see tools/trace_diff.py)")
+    parser.addoption(
+        "--history", nargs="?", const="BENCH_history.json",
+        default=None, metavar="FILE",
+        help="append this run's benchmark results to a history file "
+             "(default BENCH_history.json, see tools/bench_history.py)")
 
 
 def pytest_configure(config):
@@ -42,7 +51,14 @@ def pytest_configure(config):
     breakdown = config.getoption("--breakdown", default=None)
     if breakdown:
         _common.set_breakdown_output(breakdown)
+    journal = config.getoption("--journal", default=None)
+    if journal:
+        _common.set_journal_output(journal)
+    history = config.getoption("--history", default=None)
+    if history:
+        _common.set_history_output(history)
 
 
 def pytest_unconfigure(config):
     _common.flush_trace()
+    _common.flush_history()

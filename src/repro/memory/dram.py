@@ -109,12 +109,42 @@ class HostMemory:
         # come from disjoint allocations).
         self._gen_starts: List[int] = []
         self._gen_ranges: List[GenerationRange] = []
-        #: Store observer installed by an attached repro.obs tracer:
-        #: called as hook(addr, length) after generations are bumped.
-        #: None (one pointer check per tracked write) when tracing is
-        #: off — the tracer-side join against fetch snapshots is what
-        #: turns these callbacks into race reports.
+        #: Store observers installed by attached repro.obs consumers
+        #: (tracer, flight recorder): each is called as hook(addr,
+        #: length) after generations are bumped. ``_trace_hook`` is the
+        #: fused dispatch target the write paths check — None (one
+        #: pointer check per tracked write) with no observer, the bare
+        #: hook with one, a dispatcher with several. Manage it through
+        #: :meth:`add_store_hook` / :meth:`remove_store_hook`.
+        self._store_hooks: List = []
         self._trace_hook = None
+
+    def add_store_hook(self, hook) -> None:
+        """Register a store observer: ``hook(addr, length)`` per write."""
+        self._store_hooks.append(hook)
+        self._refresh_store_dispatch()
+
+    def remove_store_hook(self, hook) -> None:
+        """Unregister a store observer installed by :meth:`add_store_hook`."""
+        if hook in self._store_hooks:
+            self._store_hooks.remove(hook)
+        self._refresh_store_dispatch()
+
+    def _refresh_store_dispatch(self) -> None:
+        hooks = self._store_hooks
+        if not hooks:
+            self._trace_hook = None
+        elif len(hooks) == 1:
+            self._trace_hook = hooks[0]
+        else:
+            frozen = tuple(hooks)
+
+            def dispatch(addr: int, length: int,
+                         _hooks=frozen) -> None:
+                for hook in _hooks:
+                    hook(addr, length)
+
+            self._trace_hook = dispatch
 
     def __repr__(self) -> str:
         return (f"<HostMemory {self.name} used="

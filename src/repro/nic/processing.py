@@ -118,6 +118,10 @@ class SendQueueDriver:
                     tracer.fetch_span(self.nic, wq, fetch_start, 1, True)
                     tracer.wqe_fetched(wq, wr_index, cursor, slots, wqe,
                                        wq._last_decode_cached)
+                recorder = sim.recorder
+                if recorder is not None:
+                    recorder.on_fetch(wq, wr_index, cursor, slots, wqe,
+                                      wq._last_decode_cached)
             return [(wqe, wr_index)]
 
         count = min(wq.fetchable, timing.prefetch_batch)
@@ -135,7 +139,9 @@ class SendQueueDriver:
         if wq.destroyed:
             return []
         tracer = sim.tracer if _obs.enabled else None
-        fetch_meta = [] if tracer is not None else None
+        recorder = sim.recorder if _obs.enabled else None
+        fetch_meta = ([] if (tracer is not None or recorder is not None)
+                      else None)
         batch = []
         for _ in range(count):
             if wq.fetchable == 0:
@@ -154,6 +160,10 @@ class SendQueueDriver:
             for (wqe, wr_index), (cursor, slots, cached) in zip(
                     batch, fetch_meta):
                 tracer.wqe_fetched(wq, wr_index, cursor, slots, wqe, cached)
+        if recorder is not None:
+            for (wqe, wr_index), (cursor, slots, cached) in zip(
+                    batch, fetch_meta):
+                recorder.on_fetch(wq, wr_index, cursor, slots, wqe, cached)
         return batch
 
     # -- execute path -----------------------------------------------------------
@@ -177,6 +187,9 @@ class SendQueueDriver:
             tracer = sim.tracer
             if tracer is not None:
                 tracer.execute_begin(wq, wr_index, wqe)
+            recorder = sim.recorder
+            if recorder is not None:
+                recorder.on_exec(wq, wr_index, wqe)
 
         if wq.rate_limiter is not None:
             yield from wq.rate_limiter.throttle(1.0)
@@ -192,6 +205,9 @@ class SendQueueDriver:
                 tracer = sim.tracer
                 if tracer is not None:
                     tracer.wait_span(wq, wqe, exec_start)
+                recorder = sim.recorder
+                if recorder is not None:
+                    recorder.on_wait(wq, wr_index, wqe, cq)
             self._signal_if_requested(wqe, wr_index)
             return
 
@@ -207,6 +223,9 @@ class SendQueueDriver:
                 tracer = sim.tracer
                 if tracer is not None:
                     tracer.enable_event(wq, wqe, relative, target)
+                recorder = sim.recorder
+                if recorder is not None:
+                    recorder.on_enable(wq, wr_index, wqe, relative, target)
             self._signal_if_requested(wqe, wr_index)
             return
 
@@ -260,6 +279,9 @@ class SendQueueDriver:
             if tracer is not None:
                 tracer.wqe_executed(self.wq, wr_index, wqe, status,
                                     exec_start)
+            recorder = self.nic.sim.recorder
+            if recorder is not None:
+                recorder.on_done(self.wq, wr_index, wqe, status, byte_len)
         if wqe.signaled or status != "OK":
             self._signal(wqe, wr_index, status=status, byte_len=byte_len,
                          immediate=immediate)

@@ -106,6 +106,9 @@ class CompletionQueue:
             tracer = self.sim.tracer
             if tracer is not None:
                 tracer.cqe(self, cqe, host_delay_ns)
+            recorder = self.sim.recorder
+            if recorder is not None:
+                recorder.on_cqe(self, cqe)
         if self._watchers:
             ready = [(n, ev) for n, ev in self._watchers if self.count >= n]
             if ready:
@@ -308,6 +311,9 @@ class WorkQueue:
             tracer = self.sim.tracer
             if tracer is not None:
                 tracer.wqe_posted(self, wr_index, cursor, slots, wqe)
+            recorder = self.sim.recorder
+            if recorder is not None:
+                recorder.on_post(self, wr_index, cursor, slots, wqe)
         if ring_doorbell is None:
             ring_doorbell = not self.managed
         if ring_doorbell:
@@ -325,6 +331,9 @@ class WorkQueue:
             tracer = self.sim.tracer
             if tracer is not None:
                 tracer.doorbell(self, target)
+            recorder = self.sim.recorder
+            if recorder is not None:
+                recorder.on_doorbell(self, target)
         if self.doorbell_delay_ns > 0:
             self.sim.schedule_at(self.sim.now + self.doorbell_delay_ns,
                                  self._raise_enabled, target)

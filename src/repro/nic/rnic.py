@@ -112,6 +112,9 @@ class RNIC:
             tracer = self.sim.tracer
             if tracer is not None:
                 tracer.cq_created(self, cq)
+            recorder = self.sim.recorder
+            if recorder is not None:
+                recorder.cq_created(self, cq)
         return cq
 
     def create_wq(self, kind: str, num_slots: int, cq: CompletionQueue,
@@ -134,6 +137,9 @@ class RNIC:
             tracer = self.sim.tracer
             if tracer is not None:
                 tracer.wq_created(self, wq)
+            recorder = self.sim.recorder
+            if recorder is not None:
+                recorder.wq_created(self, wq)
         if kind == "send":
             driver = SendQueueDriver(self, wq)
             self._drivers[wq.wq_num] = driver

@@ -281,6 +281,9 @@ class VerbExecutor:
             tracer = nic.sim.tracer
             if tracer is not None:
                 tracer.atomic(rnic, wqe, original)
+            recorder = nic.sim.recorder
+            if recorder is not None:
+                recorder.on_atomic(rnic, qp.send_wq.name, wqe, original)
         port.atomic_unit.release(grant)
         # Remaining PCIe-atomic transaction latency happens off-unit.
         remaining = timing.atomic_pcie_ns - timing.atomic_unit_ns

@@ -21,6 +21,16 @@ Two pieces, both zero-cost when disabled:
   driver state. Exportable as OpenMetrics/Prometheus text via
   :meth:`MetricsRegistry.to_openmetrics`.
 
+* :class:`FlightRecorder` (``repro.obs.recorder``) — a bounded causal
+  journal of every post/doorbell/fetch/execute/WAIT/ENABLE/CQE/atomic/
+  ring-store event plus periodic checkpoints of sim-visible state,
+  dumpable to JSONL, replayable deterministically with event-by-event
+  verification, and watched online by invariant monitors. The
+  trace-diff engine (``repro.obs.tracediff``) aligns two journals on
+  causal keys and reports the *first* divergence with a typed
+  explanation and an upstream causal slice — see
+  ``tools/trace_diff.py``.
+
 A third piece, ``repro.obs.critpath``, is pure post-processing: it
 rebuilds the causal DAG over a recorded trace's events per request,
 computes the critical path, and attributes every nanosecond of a
@@ -69,6 +79,28 @@ __all__ = [
     "profile_tracer",
     "profile_trace",
     "sync_counts",
+    "NormalizedEvent",
+    "events_from_tracer",
+    "events_from_trace",
+    "events_from_journal",
+    "wqe_field_diff",
+    "format_field_diff",
+    "FlightRecorder",
+    "InvariantMonitor",
+    "Journal",
+    "JournalError",
+    "JournalCorruptError",
+    "JournalTruncatedError",
+    "ReplayDivergence",
+    "ReplayResult",
+    "load_journal",
+    "replay_journal",
+    "export_merged_journal",
+    "Divergence",
+    "DiffReport",
+    "diff_journals",
+    "causal_slice",
+    "records_from_trace",
 ]
 
 #: Module-level fast-path flag: False means every instrumentation site
@@ -113,6 +145,28 @@ _LAZY = {
     "profile_tracer": "critpath",
     "profile_trace": "critpath",
     "sync_counts": "critpath",
+    "NormalizedEvent": "events",
+    "events_from_tracer": "events",
+    "events_from_trace": "events",
+    "events_from_journal": "events",
+    "wqe_field_diff": "events",
+    "format_field_diff": "events",
+    "FlightRecorder": "recorder",
+    "InvariantMonitor": "recorder",
+    "Journal": "recorder",
+    "JournalError": "recorder",
+    "JournalCorruptError": "recorder",
+    "JournalTruncatedError": "recorder",
+    "ReplayDivergence": "recorder",
+    "ReplayResult": "recorder",
+    "load_journal": "recorder",
+    "replay_journal": "recorder",
+    "export_merged_journal": "recorder",
+    "Divergence": "tracediff",
+    "DiffReport": "tracediff",
+    "diff_journals": "tracediff",
+    "causal_slice": "tracediff",
+    "records_from_trace": "tracediff",
 }
 
 

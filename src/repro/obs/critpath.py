@@ -42,6 +42,14 @@ import json
 from collections import Counter
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+# Event normalization is shared with the trace inspector and the
+# trace-diff engine; re-exported here for backwards compatibility.
+from .events import (
+    NormalizedEvent,
+    events_from_trace,
+    events_from_tracer,
+)
+
 __all__ = [
     "PHASES",
     "NormalizedEvent",
@@ -62,61 +70,6 @@ PHASES = ("pu_exec", "dma", "wire", "fetch", "cqe", "wait_blocked",
 
 _PRIORITY = {phase: len(PHASES) - index
              for index, phase in enumerate(PHASES)}
-
-
-class NormalizedEvent:
-    """One tracer event in integer nanoseconds with a resolved track."""
-
-    __slots__ = ("ph", "cat", "name", "track", "ts", "dur", "args")
-
-    def __init__(self, ph: str, cat: str, name: str, track: str,
-                 ts: int, dur: int, args: Optional[Dict[str, Any]]):
-        self.ph = ph
-        self.cat = cat
-        self.name = name
-        self.track = track          # "<process>/<thread>", e.g. "nic/wq:ctl"
-        self.ts = ts
-        self.dur = dur
-        self.args = args or {}
-
-    @property
-    def end(self) -> int:
-        return self.ts + self.dur
-
-    def __repr__(self) -> str:
-        return (f"<Ev {self.ph} {self.name} @{self.ts}"
-                f"{f'+{self.dur}' if self.dur else ''} {self.track}>")
-
-
-def events_from_tracer(tracer) -> List[NormalizedEvent]:
-    """Normalize a live tracer's events (already integer ns)."""
-    proc = {pid: label for label, pid in tracer._pids.items()}
-    thread: Dict[Tuple[int, int], str] = {
-        (pid, tid): label for (pid, label), tid in tracer._tids.items()}
-    out: List[NormalizedEvent] = []
-    for ph, cat, name, pid, tid, ts, dur, args in tracer.events:
-        if ph == "C":
-            continue
-        track = (f"{proc.get(pid, f'pid{pid}')}/"
-                 f"{thread.get((pid, tid), f'tid{tid}')}")
-        out.append(NormalizedEvent(ph, cat, name, track, ts, dur or 0,
-                                   args))
-    return out
-
-
-def events_from_trace(data) -> List[NormalizedEvent]:
-    """Normalize a parsed Chrome trace (``repro.obs.TraceData``)."""
-    out: List[NormalizedEvent] = []
-    for event in data.events:
-        ph = event.get("ph")
-        if ph == "C":
-            continue
-        ts = round(event.get("ts", 0) * 1000)
-        dur = round(event.get("dur", 0) * 1000)
-        out.append(NormalizedEvent(
-            ph, event.get("cat", ""), event.get("name", ""),
-            data.track_name(event), ts, dur, event.get("args")))
-    return out
 
 
 # -- phase classification ------------------------------------------------

@@ -37,10 +37,10 @@ import json
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..nic.opcodes import OPCODE_NAMES, Opcode
-from ..nic.wqe import WQE_HEADER, WQE_SLOT_SIZE
 from . import _activate, _deactivate
+from .events import format_field_diff, wqe_field_diff
 
-__all__ = ["Tracer", "export_merged_chrome"]
+__all__ = ["Tracer", "export_merged_chrome", "diff_wqe_bytes"]
 
 
 def _op_name(opcode: int) -> str:
@@ -52,21 +52,11 @@ def diff_wqe_bytes(old: bytes, new: bytes) -> List[str]:
 
     Slot 0 is diffed per header field; follow-on (SGE) slots are
     reported coarsely. Used for ``self_mod`` / ``stale_wqe`` args.
+    The field resolution itself lives in ``obs.events.wqe_field_diff``
+    (shared with the trace-diff engine); this wrapper only renders.
     """
-    changes: List[str] = []
-    for name, field in WQE_HEADER.fields.items():
-        lo, hi = field.offset, field.offset + field.width
-        before = old[lo:hi]
-        after = new[lo:hi]
-        if before != after:
-            changes.append(
-                f"{name}: {int.from_bytes(before, 'big'):#x} -> "
-                f"{int.from_bytes(after, 'big'):#x}")
-    for slot in range(1, len(new) // WQE_SLOT_SIZE):
-        lo, hi = slot * WQE_SLOT_SIZE, (slot + 1) * WQE_SLOT_SIZE
-        if old[lo:hi] != new[lo:hi]:
-            changes.append(f"slot[{slot}] bytes changed")
-    return changes
+    return [format_field_diff(diff)
+            for diff in wqe_field_diff(old, new)]
 
 
 class Tracer:
@@ -106,8 +96,8 @@ class Tracer:
         """Detach from the simulator and its memories."""
         if self.sim.tracer is self:
             self.sim.tracer = None
-            for memory in self._memories:
-                memory._trace_hook = None
+            for memory, hook in self._memories:
+                memory.remove_store_hook(hook)
             self._memories.clear()
             _deactivate()
 
@@ -155,15 +145,15 @@ class Tracer:
 
     def attach_memory(self, memory) -> None:
         """Install the DRAM store hook (stores into annotated regions)."""
-        if memory._trace_hook is not None:
+        if id(memory) in self._regions:
             return
-        self._regions.setdefault(id(memory), [])
+        self._regions[id(memory)] = []
 
         def hook(addr: int, length: int, _memory=memory) -> None:
             self._dram_store(_memory, addr, length)
 
-        memory._trace_hook = hook
-        self._memories.append(memory)
+        memory.add_store_hook(hook)
+        self._memories.append((memory, hook))
 
     def annotate_region(self, memory, addr: int, size: int,
                         label: str) -> None:

@@ -418,6 +418,9 @@ class Simulator:
         #: touches it; instrumented device models check it behind the
         #: ``repro.obs.enabled`` module flag.
         self.tracer = None
+        #: Attached :class:`repro.obs.recorder.FlightRecorder`, or None
+        #: — same contract as ``tracer``.
+        self.recorder = None
         self._metrics = None
 
     # -- scheduling ------------------------------------------------------

@@ -10,6 +10,10 @@ determinism discipline:
   run fingerprint (final simulated time, kernel progress counters, NIC
   opcode counts, payload bytes) is bit-identical with tracing on, off,
   or toggled between runs.
+
+The flight recorder (``repro.obs.recorder``) is held to the same bar:
+off / traced / recorded runs must agree bit-for-bit, and two recorded
+runs must dump byte-identical journals.
 """
 
 import pytest
@@ -17,7 +21,7 @@ import pytest
 from repro.ibv import VerbsContext, wr_fetch_add, wr_noop, wr_write
 from repro.memory import HostMemory, ProtectionDomain
 from repro.nic import RNIC
-from repro.obs import Tracer
+from repro.obs import FlightRecorder, Tracer
 from repro.redn import ProgramBuilder, RecycledLoop, RednContext
 from repro.sim import Simulator
 
@@ -34,16 +38,22 @@ def build_rig():
     return sim, memory, nic, pd, qp_a, qp_b, verbs
 
 
-def run_scenario(trace: bool):
+def run_scenario(trace: bool, record: bool = False):
     """A mixed workload: recycled self-modifying loop + WRITE chain.
 
-    Returns (trace_json_or_None, fingerprint).
+    Returns (trace_json_or_None, fingerprint) — or, with ``record``,
+    (journal_jsonl, fingerprint).
     """
     sim, memory, nic, pd, qp_a, qp_b, verbs = build_rig()
     tracer = None
+    recorder = None
     if trace:
         tracer = Tracer(sim, name="det")
         tracer.attach_nic(nic)
+    if record:
+        recorder = FlightRecorder(sim, name="det",
+                                  checkpoint_interval=16)
+        recorder.attach_nic(nic)
 
     ctx = RednContext(nic, pd, owner="det", name="detctx")
     builder = ProgramBuilder(ctx, name="det-loop")
@@ -83,6 +93,10 @@ def run_scenario(trace: bool):
     if tracer is not None:
         text = tracer.to_json()
         tracer.close()
+    if recorder is not None:
+        text = recorder.to_jsonl()
+        assert recorder.violations == []
+        recorder.close()
     return text, fingerprint
 
 
@@ -99,6 +113,23 @@ def test_tracing_off_leaves_fingerprint_bit_identical():
     _, untraced_again = run_scenario(trace=False)
     assert untraced == traced
     assert untraced == untraced_again
+
+
+def test_recorder_off_traced_recorded_triple_identical():
+    """The zero-cost flag audit: off / traced / recorded runs agree."""
+    _, off = run_scenario(trace=False)
+    _, traced = run_scenario(trace=True)
+    _, recorded = run_scenario(trace=False, record=True)
+    _, both = run_scenario(trace=True, record=True)
+    _, off_again = run_scenario(trace=False)
+    assert off == traced == recorded == both == off_again
+
+
+def test_double_run_journals_byte_identical():
+    first, fp_first = run_scenario(trace=False, record=True)
+    second, fp_second = run_scenario(trace=False, record=True)
+    assert fp_first == fp_second
+    assert first == second
 
 
 def test_trace_records_expected_race_count():

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""bench_history: track benchmark results across commits.
+
+Appends one entry per run to ``BENCH_history.json`` — the git short
+sha, a timestamp, the perf_smoke simulator speeds (events/s per
+workload) and any per-figure metrics handed over by the benchmark
+suite (``pytest benchmarks/ --history``) — and prints the trajectory
+as a table, so a perf regression can be walked back to the commit that
+introduced it without re-running old checkouts::
+
+    PYTHONPATH=src python tools/bench_history.py --append   # measure + record
+    PYTHONPATH=src python tools/bench_history.py            # show trajectory
+
+The file is an append-only JSON document (``{"schema": 1, "runs":
+[...]}``); entries from the same sha accumulate rather than replace,
+so re-runs on one commit show spread.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+for _path in (str(SRC), str(REPO_ROOT / "tools")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+__all__ = ["DEFAULT_PATH", "append_entry", "git_sha", "load_history",
+           "render_history"]
+
+DEFAULT_PATH = "BENCH_history.json"
+HISTORY_SCHEMA = 1
+
+
+def git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=10,
+            check=True).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def load_history(path=DEFAULT_PATH) -> dict:
+    path = Path(path)
+    if not path.exists():
+        return {"schema": HISTORY_SCHEMA, "runs": []}
+    history = json.loads(path.read_text())
+    if history.get("schema") != HISTORY_SCHEMA:
+        raise ValueError(f"{path}: unsupported history schema "
+                         f"{history.get('schema')!r}")
+    return history
+
+
+def append_entry(path=DEFAULT_PATH, events_per_sec=None, figs=None,
+                 sha=None, when=None) -> dict:
+    """Record one run; returns the appended entry."""
+    history = load_history(path)
+    entry = {
+        "sha": sha or git_sha(),
+        "when": when or time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "events_per_sec": dict(sorted((events_per_sec or {}).items())),
+        "figs": {name: dict(sorted(metrics.items()))
+                 for name, metrics in sorted((figs or {}).items())},
+    }
+    history["runs"].append(entry)
+    Path(path).write_text(
+        json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return entry
+
+
+def render_history(history: dict, last: int = 0) -> str:
+    from repro.bench import render_table
+
+    runs = history.get("runs", [])
+    if last:
+        runs = runs[-last:]
+    if not runs:
+        return "no recorded runs"
+    workloads = sorted({name for run in runs
+                        for name in run.get("events_per_sec", {})})
+    fig_metrics = sorted({
+        f"{fig}.{metric}" for run in runs
+        for fig, metrics in run.get("figs", {}).items()
+        for metric in metrics
+        if isinstance(metrics.get(metric), (int, float))})
+    headers = ["sha", "when"] + [f"{w} ev/s" for w in workloads] \
+        + fig_metrics
+    rows = []
+    for run in runs:
+        row = [run.get("sha", "?"), run.get("when", "?")]
+        for workload in workloads:
+            rate = run.get("events_per_sec", {}).get(workload)
+            row.append(f"{rate:,d}" if isinstance(rate, int) else "-")
+        for column in fig_metrics:
+            fig, _, metric = column.partition(".")
+            value = run.get("figs", {}).get(fig, {}).get(metric)
+            row.append(f"{value:g}" if isinstance(value, (int, float))
+                       else "-")
+        rows.append(row)
+    return render_table(headers, rows,
+                        title=f"benchmark trajectory ({len(runs)} runs)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--history", default=DEFAULT_PATH,
+                        metavar="FILE",
+                        help=f"history file (default {DEFAULT_PATH})")
+    parser.add_argument("--append", action="store_true",
+                        help="run the perf_smoke workloads and record "
+                             "their simulator speeds")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="perf_smoke reps per workload (default 3)")
+    parser.add_argument("--last", type=int, default=0, metavar="N",
+                        help="only show the last N runs")
+    parser.add_argument("--json", action="store_true",
+                        help="dump the (possibly filtered) history as "
+                             "JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    if args.append:
+        from perf_smoke import WORKLOADS, run_workload
+        rates = {}
+        for name in sorted(WORKLOADS):
+            result = run_workload(name, reps=args.reps)
+            rates[name] = result["events_per_sec"]
+            print(f"{name}: {result['events_per_sec']:,d} events/s",
+                  file=sys.stderr)
+        entry = append_entry(args.history, events_per_sec=rates)
+        print(f"recorded {entry['sha']} in {args.history}",
+              file=sys.stderr)
+
+    history = load_history(args.history)
+    if args.json:
+        runs = history["runs"][-args.last:] if args.last \
+            else history["runs"]
+        print(json.dumps({"schema": history["schema"], "runs": runs},
+                         indent=2, sort_keys=True))
+    else:
+        print(render_history(history, last=args.last))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,130 +42,13 @@ if str(SRC) not in sys.path:
 
 from repro.obs import PHASES  # noqa: E402
 
-CALL_GAP_NS = 50_000
-DRAIN_NS = 500_000
+# The five offload scenarios are shared with the flight-recorder
+# replay tests; see tools/_offload_runners.py.
+TOOLS = REPO_ROOT / "tools"
+if str(TOOLS) not in sys.path:
+    sys.path.insert(0, str(TOOLS))
 
-
-# -- offload runners ----------------------------------------------------------
-
-
-def _drive_calls(bed, client, offload, keys, per_call_post: bool = False):
-    def scenario():
-        for index, key in enumerate(keys):
-            if per_call_post:
-                # Early-break chains tear their instance down after the
-                # hit (fig13's drive pattern): post one per call.
-                offload.post_instances(1)
-            result = yield from client.call(offload.payload_for(key),
-                                            timeout_ns=60_000_000)
-            assert result.ok, f"offload call for key {key:#x} failed"
-            if per_call_post:
-                offload.finish_request(index)
-            yield bed.sim.timeout(CALL_GAP_NS)
-        # Let straggling chain ops (unconsumed instances, CQE DMAs)
-        # finish so execution counts are settled before profiling.
-        yield bed.sim.timeout(DRAIN_NS)
-    bed.run(scenario())
-
-
-def _run_hash(calls: int, parallel: bool):
-    from repro.apps import MemcachedServer
-    from repro.bench import Testbed
-    from repro.obs import Tracer
-    from repro.redn.offload import OffloadClient
-
-    bed = Testbed(num_clients=1)
-    tracer = Tracer(bed.sim, name="hash-lookup")
-    store = MemcachedServer(bed.server)
-    keys = [0x30 + index for index in range(calls)]
-    for key in keys:
-        store.set(key, f"value-{key:#x}".encode(), force_bucket=0)
-    offload, conn = store.attach_get_offload(
-        bed.clients[0].nic, bed.client_pd(0), parallel=parallel,
-        max_instances=calls + 2)
-    offload.post_instances(calls)
-    client = OffloadClient(conn, bed.client_verbs(0))
-    _drive_calls(bed, client, offload, keys)
-    return {"bed": bed, "tracer": tracer,
-            "program": offload.builder.program, "relation": "exact"}
-
-
-def _run_list(calls: int, use_break: bool):
-    from repro.bench import Testbed
-    from repro.datastructs import LinkedList, SlabStore
-    from repro.obs import Tracer
-    from repro.offloads.list_traversal import ListTraversalOffload
-    from repro.redn import RednContext
-    from repro.redn.offload import OffloadClient, OffloadConnection
-
-    list_size = 8
-    bed = Testbed(num_clients=1)
-    tracer = Tracer(bed.sim, name="list-traversal")
-    proc = bed.server.spawn_process("list-server")
-    pd = proc.create_pd()
-    slab_alloc = proc.alloc(4 * 1024 * 1024, label="slab")
-    node_alloc = proc.alloc(64 * 1024, label="nodes")
-    data_mr = pd.register(node_alloc)
-    pd.register(slab_alloc)
-    slab = SlabStore(bed.server.memory, slab_alloc)
-    linked = LinkedList(bed.server.memory, node_alloc, slab)
-    keys = [0x100 + index for index in range(list_size)]
-    for key in keys:
-        linked.append(key, bytes([key & 0xFF]) * 64)
-    ctx = RednContext(bed.server.nic, pd, process=proc)
-    conn = OffloadConnection(ctx, bed.clients[0].nic, bed.client_pd(0),
-                             name="lp")
-    offload = ListTraversalOffload(ctx, linked, data_mr, conn,
-                                   max_nodes=list_size,
-                                   use_break=use_break)
-    if not use_break:
-        offload.post_instances(calls)
-    client = OffloadClient(conn, bed.client_verbs(0))
-    call_keys = [keys[index % list_size] for index in range(calls)]
-    _drive_calls(bed, client, offload, call_keys,
-                 per_call_post=use_break)
-    return {"bed": bed, "tracer": tracer,
-            "program": offload.builder.program,
-            "relation": "at-most" if use_break else "exact"}
-
-
-def _run_recycled(calls: int):
-    from repro.apps import MemcachedServer
-    from repro.bench import Testbed
-    from repro.obs import Tracer
-    from repro.offloads.recycled_get import (
-        RECYCLED_CONN_KWARGS,
-        RecycledHashGetOffload,
-    )
-    from repro.redn.offload import OffloadClient, OffloadConnection
-
-    bed = Testbed(num_clients=1)
-    tracer = Tracer(bed.sim, name="recycled-get")
-    store = MemcachedServer(bed.server)
-    keys = [0x50 + index for index in range(calls)]
-    for key in keys:
-        store.set(key, f"value-{key:#x}".encode(), force_bucket=0)
-    conn = OffloadConnection(store.ctx, bed.clients[0].nic,
-                             bed.client_pd(0), name="rg",
-                             **RECYCLED_CONN_KWARGS)
-    offload = RecycledHashGetOffload(store.ctx, store.table,
-                                     store.table_mr, conn)
-    offload.start()
-    client = OffloadClient(conn, bed.client_verbs(0))
-    _drive_calls(bed, client, offload, keys)
-    return {"bed": bed, "tracer": tracer,
-            "program": offload.builder.program, "relation": "recycled",
-            "offload": offload}
-
-
-OFFLOADS = {
-    "hash-lookup": lambda calls: _run_hash(calls, parallel=False),
-    "hash-lookup-par": lambda calls: _run_hash(calls, parallel=True),
-    "list-traversal": lambda calls: _run_list(calls, use_break=False),
-    "list-traversal-break":
-        lambda calls: _run_list(calls, use_break=True),
-    "recycled-get": _run_recycled,
-}
+from _offload_runners import OFFLOADS, run_offload  # noqa: E402
 
 
 # -- selfcheck ----------------------------------------------------------------
@@ -269,8 +152,11 @@ def main(argv=None) -> int:
 
     run = None
     if args.offload:
-        run = OFFLOADS[args.offload](args.calls)
-        tracer = run["tracer"]
+        from repro.obs import Tracer
+        run = run_offload(
+            args.offload, args.calls,
+            instrument=lambda bed, label: Tracer(bed.sim, name=label))
+        tracer = run["instrument"]
         if args.trace_out:
             count = tracer.export_chrome(args.trace_out)
             print(f"wrote {count} events to {args.trace_out}",

@@ -28,7 +28,7 @@ for path in (str(SRC), str(REPO_ROOT / "tools")):
     if path not in sys.path:
         sys.path.insert(0, path)
 
-from latency_profile import OFFLOADS  # noqa: E402
+from _offload_runners import OFFLOADS, run_offload  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -46,9 +46,13 @@ def main(argv=None) -> int:
 
     from repro.obs import profile_tracer
 
-    run = OFFLOADS[args.offload](args.calls)
+    from repro.obs import Tracer
+
+    run = run_offload(
+        args.offload, args.calls,
+        instrument=lambda bed, label: Tracer(bed.sim, name=label))
     registry = run["bed"].sim.metrics
-    profile_tracer(run["tracer"]).record_metrics(registry)
+    profile_tracer(run["instrument"]).record_metrics(registry)
     text = registry.to_openmetrics()
     if args.output:
         Path(args.output).write_text(text)

@@ -18,6 +18,13 @@ Reads the Chrome trace-event JSON written by ``Tracer.export_chrome``
   queue (by name, e.g. ``ticker-ring-sq``);
 * ``--json`` — machine-readable output of whichever report was asked.
 
+With ``--journal`` the input is a flight-recorder journal
+(``FlightRecorder.dump`` / benchmark ``--journal`` JSONL) instead of a
+Chrome trace: the summary shows record counts per kind and track, the
+checkpoint cadence, and any invariant violations found by replaying
+the :class:`repro.obs.InvariantMonitor` over the records;
+``--timeline WQ`` works on the journal's normalized event view.
+
 Exit status: 0 on success; with ``--fail-on-race``, 1 if any
 ``stale_wqe`` race was recorded (self-modification alone is how RedN
 programs work and never fails the check).
@@ -48,11 +55,96 @@ from repro.obs.inspect import (  # noqa: E402
 )
 
 
+def summarize_journal(journal) -> dict:
+    """Counts per kind and per track, span, checkpoints, violations."""
+    from repro.obs import InvariantMonitor, events_from_journal
+
+    monitor = InvariantMonitor()
+    kinds: dict = {}
+    for record in journal.records:
+        kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+        monitor.observe(record)
+    tracks: dict = {}
+    for event in events_from_journal(journal.records):
+        tracks[event.track] = tracks.get(event.track, 0) + 1
+    timestamps = [record["ts"] for record in journal.records]
+    return {
+        "name": journal.meta.get("name", "?"),
+        "beds": len(journal.metas),
+        "records": len(journal.records),
+        "evicted": journal.first_seq,
+        "span_ns": [min(timestamps), max(timestamps)] if timestamps
+        else [0, 0],
+        "checkpoints": len(journal.checkpoints),
+        "kinds": dict(sorted(kinds.items())),
+        "tracks": dict(sorted(tracks.items())),
+        "violations": monitor.violations,
+    }
+
+
+def render_journal_summary(summary: dict) -> str:
+    lines = [f"journal {summary['name']}: {summary['records']} records"
+             f" ({summary['evicted']} evicted), "
+             f"{summary['checkpoints']} checkpoint(s), "
+             f"{summary['beds']} bed(s), sim span "
+             f"{summary['span_ns'][0]}..{summary['span_ns'][1]} ns"]
+    lines.append("records by kind:")
+    for kind, count in summary["kinds"].items():
+        lines.append(f"  {kind:10s} {count:>8d}")
+    lines.append("records by track:")
+    for track, count in summary["tracks"].items():
+        lines.append(f"  {track:28s} {count:>8d}")
+    if summary["violations"]:
+        lines.append(f"INVARIANT VIOLATIONS ({len(summary['violations'])}):")
+        for violation in summary["violations"]:
+            lines.append(f"  [{violation['name']}] seq "
+                         f"{violation['seq']}: {violation['detail']}")
+    else:
+        lines.append("invariants: ok")
+    return "\n".join(lines)
+
+
+def _journal_timeline(journal, wq_name: str) -> list:
+    from repro.obs import events_from_journal
+    return [event.args for event in events_from_journal(journal.records)
+            if event.track == f"wq:{wq_name}"]
+
+
+def _journal_main(args) -> int:
+    from repro.obs import load_journal
+
+    journal = load_journal(args.trace)
+    if args.timeline:
+        records = _journal_timeline(journal, args.timeline)
+        if args.json:
+            print(json.dumps(records, indent=2))
+        else:
+            for record in records:
+                fields = " ".join(
+                    f"{key}={value}" for key, value in record.items()
+                    if key not in ("kind", "ts", "wq"))
+                print(f"{record['ts']:>12d} ns  {record['kind']:9s}"
+                      f" {fields}")
+    else:
+        summary = summarize_journal(journal)
+        if args.json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(render_journal_summary(summary))
+        if summary["violations"]:
+            return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.split("\n")[0],
         formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("trace", help="trace JSON file to inspect")
+    parser.add_argument("trace", help="trace JSON (or, with --journal, "
+                                      "a flight-recorder JSONL) to inspect")
+    parser.add_argument("--journal", action="store_true",
+                        help="treat the input as a flight-recorder "
+                             "journal instead of a Chrome trace")
     parser.add_argument("--summary", action="store_true",
                         help="print per-track event counts and "
                              "first/last timestamps")
@@ -66,6 +158,12 @@ def main(argv=None) -> int:
     parser.add_argument("--fail-on-race", action="store_true",
                         help="exit 1 if any stale_wqe race was recorded")
     args = parser.parse_args(argv)
+
+    if args.journal:
+        if args.races or args.fail_on_race:
+            parser.error("race reports need a Chrome trace (the race "
+                         "inspector lives in the tracer)")
+        return _journal_main(args)
 
     data = load_trace(args.trace)
 
