@@ -1,0 +1,54 @@
+"""Sharded cluster simulator speed: the ``cluster_simspeed`` workload.
+
+Like ``bench_simspeed``, this measures the simulator itself (host-CPU
+events/second), not the simulated system. The scenario is 16 testbeds
+on a :class:`repro.sim.sharded.ShardedSimulation` exchanging closed-loop
+RPCs over 1 µs inter-bed links; it is driven once by the conservative
+sharded synchronizer and once by the one-timestamp-window serial merge.
+The two drives must be bit-identical — same RPC latencies, same
+frontier, same per-bed kernel event counts — and the sharded drive must
+actually be faster: the speedup is the point of the sharded core.
+
+Marked ``bench`` so the wall-clock-sensitive run can be split from the
+deterministic tier-1 suite: ``pytest -m "not bench"`` skips it.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from _common import print_comparison, run_once
+
+from perf_smoke import CLUSTER_SPEEDUP_FLOOR, run_cluster_workload
+
+pytestmark = pytest.mark.bench
+
+
+def bench_cluster_simspeed(benchmark):
+    def scenario():
+        measured = run_cluster_workload(reps=3)
+        return {
+            "events": measured["events"],
+            "events_per_sec": measured["events_per_sec"],
+            "serial_events_per_sec": measured["serial_events_per_sec"],
+            "speedup": measured["speedup"],
+            "requests": measured["fingerprint"]["requests"],
+            "frontier_ns": measured["fingerprint"]["frontier_ns"],
+        }
+
+    result = run_once(benchmark, scenario)
+    print_comparison(
+        "Sharded cluster — kernel events per CPU-second",
+        ["drive", "events/s", "events", "speedup"],
+        [("sharded", f"{result['events_per_sec']:,d}",
+          result["events"], f"{result['speedup']:.2f}x"),
+         ("serial merge", f"{result['serial_events_per_sec']:,d}",
+          result["events"], "1.00x")])
+    # run_cluster_workload has already asserted bit-identity between the
+    # sharded and serial drives; here we hold the perf claim itself.
+    assert result["events_per_sec"] > 0
+    assert result["speedup"] >= CLUSTER_SPEEDUP_FLOOR

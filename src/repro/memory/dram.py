@@ -252,7 +252,9 @@ class HostMemory:
 
     def read(self, addr: int, length: int) -> bytes:
         self._check(addr, length)
-        return bytes(self._bytes[addr:addr + length])
+        # Slicing the memoryview (not the bytearray) makes this one copy
+        # instead of two — read() backs every payload gather.
+        return bytes(self._view[addr:addr + length])
 
     def view(self, addr: int, length: int) -> memoryview:
         """Zero-copy read-only window into DRAM.
@@ -277,7 +279,7 @@ class HostMemory:
 
     def read_uint(self, addr: int, width: int) -> int:
         self._check(addr, width)
-        return int.from_bytes(self._bytes[addr:addr + width], "big")
+        return int.from_bytes(self._view[addr:addr + width], "big")
 
     def write_uint(self, addr: int, value: int, width: int) -> None:
         self.write(addr, pack_uint(value, width))
@@ -286,7 +288,7 @@ class HostMemory:
         if addr < self.BASE_ADDR or addr + 8 > self.size:
             raise MemoryError_(
                 f"access [{addr:#x},{addr + 8:#x}) outside DRAM")
-        return int.from_bytes(self._bytes[addr:addr + 8], "big")
+        return int.from_bytes(self._view[addr:addr + 8], "big")
 
     def write_u64(self, addr: int, value: int) -> None:
         if addr < self.BASE_ADDR or addr + 8 > self.size:

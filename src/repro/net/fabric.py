@@ -6,6 +6,12 @@ that: explicit pairwise links with a configurable one-way latency
 (default calibrated to the paper's measured ~0.25 µs RTT, Fig 7).
 Bandwidth is enforced at the NIC ports (wire serialization), so the
 fabric itself only contributes propagation delay.
+
+Inter-shard transport (:class:`ShardFabric`, :class:`ShardChannel`,
+:class:`LookaheadError`) is re-exported here from
+:mod:`repro.sim.sharded`: cross-shard sends route through this module's
+namespace, but the implementation lives in the sim layer so the kernel
+package stays import-cycle-free.
 """
 
 from __future__ import annotations
@@ -14,8 +20,10 @@ from typing import Dict, Tuple
 
 from ..nic.rnic import RNIC
 from ..sim.core import Simulator
+from ..sim.sharded import LookaheadError, ShardChannel, ShardFabric
 
-__all__ = ["Fabric", "FabricError"]
+__all__ = ["Fabric", "FabricError", "LookaheadError", "ShardChannel",
+           "ShardFabric"]
 
 DEFAULT_ONE_WAY_NS = 125
 

@@ -27,7 +27,7 @@ from typing import List, Optional, Tuple, TYPE_CHECKING
 from .. import obs as _obs
 from ..memory.dram import MemoryError_
 from ..memory.region import ProtectionError
-from ..sim.core import Event, Timeout
+from ..sim.core import Event
 from .opcodes import OPCODE_NAMES, Opcode, WrFlags
 from .queue import Cqe, QueueError, WorkQueue
 from .wqe import Wqe
@@ -95,7 +95,7 @@ class SendQueueDriver:
             if grant is None:
                 grant = yield engine.acquire()
             fetch_start = sim.now
-            yield Timeout(sim, timing.wqe_fetch_ns)
+            yield timing.wqe_fetch_ns
             if wq.destroyed:
                 engine.release(grant)
                 return []
@@ -131,11 +131,11 @@ class SendQueueDriver:
         fetch_start = sim.now
         hold = timing.batch_fetch_hold_per_wqe_ns * count
         if hold:
-            yield Timeout(sim, hold)
+            yield hold
         engine.release(grant)
         remaining = timing.wqe_fetch_ns - hold
         if remaining > 0:
-            yield Timeout(sim, remaining)
+            yield remaining
         if wq.destroyed:
             return []
         tracer = sim.tracer if _obs.enabled else None
@@ -200,7 +200,7 @@ class SendQueueDriver:
                 self._signal(wqe, wr_index, status="BAD_WAIT_TARGET")
                 return
             yield cq.wait_for_count(wqe.wqe_count)
-            yield Timeout(sim, timing.wait_check_ns)
+            yield timing.wait_check_ns
             if _obs.enabled:
                 tracer = sim.tracer
                 if tracer is not None:
@@ -213,7 +213,7 @@ class SendQueueDriver:
 
         if opcode == Opcode.ENABLE:
             target = self.nic.wqs.get(wqe.target)
-            yield Timeout(sim, timing.enable_ns)
+            yield timing.enable_ns
             if target is None or target.destroyed:
                 self._signal(wqe, wr_index, status="BAD_ENABLE_TARGET")
                 return

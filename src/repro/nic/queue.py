@@ -263,15 +263,12 @@ class WorkQueue:
     def slot_state(self, slot_cursor: int,
                    slots: int) -> Tuple[Tuple[int, ...], bytes]:
         """(generations, raw bytes) of a WQE's slots — same helper."""
-        if slots == 1:
-            data = self.memory.read(self.slot_addr(slot_cursor),
-                                    WQE_SLOT_SIZE)
-        else:
-            buf = bytearray()
-            for offset in range(slots):
-                buf.extend(self.memory.read(
-                    self.slot_addr(slot_cursor + offset), WQE_SLOT_SIZE))
-            data = bytes(buf)
+        tail = min(slots, self.num_slots - slot_cursor % self.num_slots)
+        data = self.memory.read(self.slot_addr(slot_cursor),
+                                tail * WQE_SLOT_SIZE)
+        if tail < slots:
+            data += self.memory.read(self.ring.addr,
+                                     (slots - tail) * WQE_SLOT_SIZE)
         return self.slot_gens(slot_cursor, slots), data
 
     # -- producer (host) API ----------------------------------------------
@@ -294,16 +291,14 @@ class WorkQueue:
             raise QueueError(
                 f"{self!r} overflow: {slots}-slot WQE but only "
                 f"{self.free_slots} slots free")
-        if slots == 1:
-            self.memory.write(
-                self.ring.addr + (cursor % self.num_slots) * WQE_SLOT_SIZE,
-                data)
-        else:
-            for index in range(slots):
-                self.memory.write(
-                    self.slot_addr(cursor + index),
-                    bytes(data[index * WQE_SLOT_SIZE:
-                               (index + 1) * WQE_SLOT_SIZE]))
+        slot_index = cursor % self.num_slots
+        tail = min(slots, self.num_slots - slot_index)
+        view = memoryview(data)
+        self.memory.write(self.ring.addr + slot_index * WQE_SLOT_SIZE,
+                          view[:tail * WQE_SLOT_SIZE])
+        if tail < slots:
+            # The WQE wraps the ring edge: one more write for the head.
+            self.memory.write(self.ring.addr, view[tail * WQE_SLOT_SIZE:])
         self._post_slot_cursor = cursor + slots
         wr_index = self.posted_count
         self.posted_count += 1
@@ -430,13 +425,16 @@ class WorkQueue:
             snapshot = tuple(
                 gens[slot_index:slot_index + wqe_slots])
         else:
-            # Wraps the ring edge: assemble the slots.
-            buf = bytearray(header)
-            for index in range(1, wqe_slots):
-                buf.extend(memory.read(
-                    self.slot_addr(self._fetch_slot_cursor + index),
-                    WQE_SLOT_SIZE))
-            wqe = Wqe.decode(bytes(buf))
+            # Wraps the ring edge (at most once: a WQE never exceeds the
+            # ring): two coalesced region reads replace the per-slot
+            # loop — tail of the ring, then the wrapped head.
+            tail_slots = ring_slots - slot_index
+            head_slots = wqe_slots - tail_slots
+            buf = bytearray(
+                memory.view(header_addr, tail_slots * WQE_SLOT_SIZE))
+            buf += memory.view(self.ring.addr,
+                               head_slots * WQE_SLOT_SIZE)
+            wqe = Wqe.decode(buf)
             snapshot = tuple(
                 gens[(slot_index + offset) % ring_slots]
                 for offset in range(wqe_slots))

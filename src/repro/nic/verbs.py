@@ -28,7 +28,6 @@ from typing import Generator, List, Optional, Tuple, TYPE_CHECKING
 
 from .. import obs as _obs
 from ..memory.region import AccessFlags, ProtectionError
-from ..sim.core import Timeout
 from .opcodes import Opcode
 from .qp import QueuePair
 from .queue import Cqe, QueueError
@@ -89,7 +88,7 @@ class VerbExecutor:
             yield from port.wire.use(serialization)
         latency = nic.link_latency_to(src_qp.peer.nic)
         if latency > 0:
-            yield Timeout(nic.sim, latency)
+            yield latency
         if _obs.enabled:
             tracer = nic.sim.tracer
             if tracer is not None:
@@ -100,7 +99,7 @@ class VerbExecutor:
         if ns <= 0:
             return
         start = nic.sim.now
-        yield Timeout(nic.sim, ns)
+        yield ns
         if _obs.enabled:
             tracer = nic.sim.tracer
             if tracer is not None:
@@ -128,13 +127,17 @@ class VerbExecutor:
                 nic.memory.write(laddr, data)
             return len(data)
         written = 0
+        total = len(data)
+        view = memoryview(data)
         for sge in sges:
-            if written >= len(data):
+            if written >= total:
                 break
-            chunk = data[written:written + sge.length]
+            # Slice the view, not the bytes: each chunk is zero-copy
+            # until the bytearray slice-assign inside memory.write.
+            chunk = view[written:written + sge.length]
             nic.memory.write(sge.addr, chunk)
             written += len(chunk)
-        if written < len(data):
+        if written < total:
             raise QueueError(
                 f"scatter list too small: {len(data)} bytes into "
                 f"{sum(s.length for s in sges)}")
@@ -160,7 +163,7 @@ class VerbExecutor:
         data = nic.memory.read(wqe.laddr, wqe.length) if wqe.length else b""
         yield from self._traverse(qp, wqe.length)
         if not qp.is_loopback:
-            yield Timeout(nic.sim, timing.rx_process_ns)
+            yield timing.rx_process_ns
         peer.pd.validate_remote(wqe.rkey, wqe.raddr, max(1, wqe.length),
                                 AccessFlags.REMOTE_WRITE)
         # Posted DMA write of the payload into responder memory.
@@ -184,7 +187,7 @@ class VerbExecutor:
         timing = rnic.timing
         yield from self._traverse(qp, 0)  # request
         if not qp.is_loopback:
-            yield Timeout(nic.sim, timing.rx_process_ns)
+            yield timing.rx_process_ns
         peer.pd.validate_remote(wqe.rkey, wqe.raddr, max(1, wqe.length),
                                 AccessFlags.REMOTE_READ)
         # Non-posted DMA read on the responder.
@@ -208,7 +211,7 @@ class VerbExecutor:
         data = nic.memory.read(wqe.laddr, wqe.length) if wqe.length else b""
         yield from self._traverse(qp, wqe.length)
         if not qp.is_loopback:
-            yield Timeout(nic.sim, peer.nic.timing.rx_process_ns)
+            yield peer.nic.timing.rx_process_ns
         byte_len = yield from self._consume_recv(
             peer, payload=data, byte_len=len(data), immediate=0)
         yield from self._traverse(peer, 0)  # ack
@@ -238,7 +241,7 @@ class VerbExecutor:
                 raise QueueError(f"{recv_wq!r} destroyed mid-receive")
             engine = rnic.ports[peer.port_index].fetch_engine
             fetch_grant = yield engine.acquire()
-            yield Timeout(rnic.sim, timing.wqe_fetch_ns)
+            yield timing.wqe_fetch_ns
             recv_wqe, slots = recv_wq.read_wqe_at_cursor()
             recv_wq.advance_fetch(slots)
             engine.release(fetch_grant)
@@ -265,13 +268,13 @@ class VerbExecutor:
         timing = rnic.timing
         yield from self._traverse(qp, 16)  # operands travel in the request
         if not qp.is_loopback:
-            yield Timeout(nic.sim, timing.rx_process_ns)
+            yield timing.rx_process_ns
         peer.pd.validate_remote(wqe.rkey, wqe.raddr, 8,
                                 AccessFlags.REMOTE_ATOMIC)
         port = rnic.ports[peer.port_index]
         grant = yield port.atomic_unit.acquire()
         txn_start = nic.sim.now
-        yield Timeout(nic.sim, timing.atomic_unit_ns)
+        yield timing.atomic_unit_ns
         if wqe.opcode == Opcode.CAS:
             original = rnic.memory.compare_and_swap_u64(
                 wqe.raddr, wqe.operand0, wqe.operand1)
@@ -288,7 +291,7 @@ class VerbExecutor:
         # Remaining PCIe-atomic transaction latency happens off-unit.
         remaining = timing.atomic_pcie_ns - timing.atomic_unit_ns
         if remaining > 0:
-            yield Timeout(nic.sim, remaining)
+            yield remaining
         if _obs.enabled:
             tracer = nic.sim.tracer
             if tracer is not None:
@@ -309,7 +312,7 @@ class VerbExecutor:
                 f"{rnic.model.name} does not support calc verbs")
         yield from self._traverse(qp, 16)
         if not qp.is_loopback:
-            yield Timeout(nic.sim, timing.rx_process_ns)
+            yield timing.rx_process_ns
         peer.pd.validate_remote(wqe.rkey, wqe.raddr, 8,
                                 AccessFlags.REMOTE_WRITE
                                 | AccessFlags.REMOTE_READ)

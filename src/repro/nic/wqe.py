@@ -98,6 +98,15 @@ _unpack_header = _HEADER_CODEC.unpack_from
 _pack_sge = _SGE_CODEC.pack_into
 _unpack_sge = _SGE_CODEC.unpack_from
 
+# Batch SGE codecs, one per possible count: ">QIIQII..." decodes (and
+# encodes) a whole SGE list in a single C call instead of one call per
+# entry. An Sge is exactly 16 packed bytes (8+4+4), so ``n`` repeats
+# tile the follow-on slots with no padding.
+_BATCH_SGE_CODECS = [None] + [
+    _struct.Struct(">" + "QII" * n) for n in range(1, MAX_SGE + 1)]
+assert all(codec.size == 16 * n
+           for n, codec in enumerate(_BATCH_SGE_CODECS) if codec)
+
 # Canonical field names used by self-modifying programs to aim at WQE
 # bytes. FIELD_ID addresses only the low 48 bits of the ctrl word
 # (offset 2, width 6), which is how a READ deposits a key without
@@ -235,10 +244,14 @@ class Wqe:
                      self.laddr, self.length, self.raddr, self.flags,
                      self.operand0, self.operand1, self.wqe_count,
                      self.target, num_slots, num_sge, self.lkey, self.rkey)
-        base = WQE_SLOT_SIZE
-        for sge in sges:
-            _pack_sge(buf, base, sge.addr, sge.length, sge.lkey)
-            base += 16
+        if num_sge:
+            flat = []
+            for sge in sges:
+                flat.append(sge.addr)
+                flat.append(sge.length)
+                flat.append(sge.lkey)
+            _BATCH_SGE_CODECS[num_sge].pack_into(
+                buf, WQE_SLOT_SIZE, *flat)
         return buf
 
     def _encode_checked(self) -> bytearray:
@@ -291,10 +304,10 @@ class Wqe:
                 raise ValueError(f"too many SGEs: {num_sge} > {MAX_SGE}")
             base = WQE_SLOT_SIZE
             if len(buf) >= base + 16 * num_sge:
-                for _ in range(num_sge):
-                    addr, length, lkey = _unpack_sge(buf, base)
-                    sges.append(Sge(addr, length, lkey))
-                    base += 16
+                flat = _BATCH_SGE_CODECS[num_sge].unpack_from(buf, base)
+                for index in range(0, 3 * num_sge, 3):
+                    sges.append(Sge(flat[index], flat[index + 1],
+                                    flat[index + 2]))
             else:
                 # Truncated buffer: slices read past the end as zeros,
                 # matching how a short DMA leaves SGE slots unwritten.

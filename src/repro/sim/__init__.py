@@ -13,6 +13,7 @@ from .core import (
 )
 from .rand import DEFAULT_SEED, SeededStreams
 from .resources import Resource, Store, TokenBucket
+from .sharded import LookaheadError, Shard, ShardedSimulation
 
 __all__ = [
     "AllOf",
@@ -20,9 +21,12 @@ __all__ = [
     "DEFAULT_SEED",
     "Event",
     "Interrupt",
+    "LookaheadError",
     "Process",
     "Resource",
     "SeededStreams",
+    "Shard",
+    "ShardedSimulation",
     "SimulationError",
     "Simulator",
     "Store",

@@ -170,6 +170,27 @@ class Event:
         else:
             self._callbacks = [callbacks, callback]
 
+    def _discard_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Detach a waiter that no longer cares (abandoned wait).
+
+        Without this, an abandoned event keeps the dead callback and
+        queues a useless immediate when it eventually triggers. Uses
+        ``==`` (not ``is``): bound methods compare by identity of their
+        underlying function and instance but are re-created per access.
+        """
+        callbacks = self._callbacks
+        if callbacks is None:
+            return
+        if callbacks.__class__ is list:
+            try:
+                callbacks.remove(callback)
+            except ValueError:
+                return
+            if len(callbacks) == 1:
+                self._callbacks = callbacks[0]
+        elif callbacks == callback:
+            self._callbacks = None
+
 
 class Timeout(Event):
     """An event that triggers automatically after ``delay`` nanoseconds.
@@ -203,11 +224,7 @@ class Timeout(Event):
         self._callbacks = None
         self.delay = delay
         if delay:
-            heap = sim._heap
-            heappush(heap, (sim.now + delay, next(sim._sequence),
-                            self._fire, value))
-            if len(heap) > sim._heap_peak:
-                sim._heap_peak = len(heap)
+            sim._push_future(sim.now + delay, self._fire, value)
         else:
             sim._immediate.append((self._fire, value))
 
@@ -268,6 +285,14 @@ class AnyOf(_Condition):
             self.fail(event.exception)
         else:
             self.trigger(event)
+        # Detach from the losing children: once the race is decided
+        # their triggers have no observer here, so leaving the callback
+        # behind only costs a dead dispatch (and keeps this condition
+        # alive) when they eventually fire.
+        callback = self._child_done
+        for child in self.events:
+            if child is not event and not child.triggered:
+                child._discard_callback(callback)
 
 
 class AllOf(_Condition):
@@ -297,13 +322,17 @@ class Process(Event):
     other simply by yielding the target process.
     """
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_sleep_token")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
                  name: str = ""):
         super().__init__(sim, name=name or getattr(generator, "__name__", ""))
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        # Monotonic token identifying the current bare-delay sleep (a
+        # ``yield <int ns>``); any other resumption bumps it so a stale
+        # sleep entry left on the heap cannot resume the process twice.
+        self._sleep_token = 0
         # Kick off on the next kernel step at the current time.
         sim._immediate.append((self._resume, (None, None)))
 
@@ -329,7 +358,14 @@ class Process(Event):
         if self.triggered:
             return
         send_value, throw_exc = payload
-        self._waiting_on = None
+        waiting = self._waiting_on
+        if waiting is not None:
+            # Re-targeting (e.g. an interrupt) abandons the old wait:
+            # prune our callback so the event's eventual trigger does
+            # not queue a dead immediate.
+            waiting._discard_callback(self._on_event)
+            self._waiting_on = None
+        self._sleep_token += 1
         self._step(send_value, throw_exc)
 
     def _step(self, send_value, throw_exc) -> None:
@@ -353,7 +389,27 @@ class Process(Event):
             self.fail(exc)
             self.sim.failed_processes.append(self)
             return
-        if isinstance(target, Event):
+        if target.__class__ is int:
+            # Bare-delay sleep: ``yield ns`` resumes the process after
+            # ``ns`` nanoseconds with no Timeout/Event allocated at all
+            # — one heap tuple replaces the object, its callback slot
+            # and the add_callback round-trip. Scheduling is position-
+            # identical to ``yield Timeout(sim, ns)`` (same sequence
+            # number consumed here, same single loop callback at fire
+            # time), so runs are bit-identical either way.
+            if target < 0:
+                exc = SimulationError(
+                    f"process {self.name} yielded negative delay {target}")
+                self.fail(exc)
+                self.sim.failed_processes.append(self)
+                return
+            self._sleep_token = token = self._sleep_token + 1
+            sim = self.sim
+            if target:
+                sim._push_future(sim.now + target, self._sleep_fire, token)
+            else:
+                sim._immediate.append((self._sleep_fire, token))
+        elif isinstance(target, Event):
             # Inlined _wait_on/add_callback: this is the hottest edge in
             # the kernel (every yield of every process lands here).
             self._waiting_on = target
@@ -367,11 +423,37 @@ class Process(Event):
                     callbacks.append(self._on_event)
                 else:
                     target._callbacks = [callbacks, self._on_event]
+        elif isinstance(target, float) and target.is_integer():
+            # Integral float delay: accepted exactly like Timeout does.
+            self._step_sleep_float(target)
         else:
             exc = SimulationError(
                 f"process {self.name} yielded {target!r}, not an Event")
             self.fail(exc)
             self.sim.failed_processes.append(self)
+
+    def _step_sleep_float(self, target: float) -> None:
+        delay = int(target)
+        if delay < 0:
+            exc = SimulationError(
+                f"process {self.name} yielded negative delay {delay}")
+            self.fail(exc)
+            self.sim.failed_processes.append(self)
+            return
+        self._sleep_token = token = self._sleep_token + 1
+        sim = self.sim
+        if delay:
+            sim._push_future(sim.now + delay, self._sleep_fire, token)
+        else:
+            sim._immediate.append((self._sleep_fire, token))
+
+    def _sleep_fire(self, token: int) -> None:
+        if (self.triggered or token != self._sleep_token
+                or self._waiting_on is not None):
+            # The process finished, was interrupted, or moved on to a
+            # different wait while this sleep was pending.
+            return
+        self._step(None, None)
 
     def _wait_on(self, target: Event) -> None:
         self._waiting_on = target
@@ -434,9 +516,18 @@ class Simulator:
         if time < now:
             raise SimulationError(
                 f"cannot schedule at {time} < now {self.now}")
+        self._push_future(int(time), callback, payload)
+
+    def _push_future(self, time: int, callback: Callable, payload: Any) -> None:
+        """Heap-push a future callback with the shared seq/peak bookkeeping.
+
+        Single point of truth for the ``(time, seq, callback, payload)``
+        entry layout — Timeout, bare-delay sleeps and schedule_at all
+        route through here so the determinism-critical sequence counter
+        is consumed in exactly one place.
+        """
         heap = self._heap
-        heapq.heappush(heap, (int(time), next(self._sequence),
-                              callback, payload))
+        heappush(heap, (time, next(self._sequence), callback, payload))
         if len(heap) > self._heap_peak:
             self._heap_peak = len(heap)
 
@@ -509,6 +600,19 @@ class Simulator:
             "processes_started": self._processes_started,
         }
 
+    def peek_next_time(self) -> Optional[int]:
+        """Earliest time at which work is pending, or None when idle.
+
+        Immediate callbacks count as work at the current time. Used by
+        the sharded synchronizer to compute the global window floor
+        without disturbing the queues.
+        """
+        if self._immediate:
+            return self.now
+        if self._heap:
+            return self._heap[0][0]
+        return None
+
     # -- execution -------------------------------------------------------
 
     def step(self) -> None:
@@ -531,6 +635,10 @@ class Simulator:
         against accidental non-termination in tests (RedN programs are,
         after all, Turing complete).
         """
+        if until is not None and until < self.now:
+            # A window that already closed: running would rewind the
+            # clock on the `time > until` break below. No-op instead.
+            return self.now
         heap = self._heap
         immediate = self._immediate
         heappop_ = heappop

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Generator, Optional
 
-from .core import Event, Simulator, Timeout
+from .core import Event, Simulator
 
 __all__ = ["Resource", "Store", "TokenBucket"]
 
@@ -95,7 +95,7 @@ class Resource:
             # claim it, so FIFO fairness is unchanged.
             self.in_use += 1
             try:
-                yield Timeout(self.sim, duration)
+                yield duration
             finally:
                 if self._waiters:
                     waiter = self._waiters.popleft()
@@ -105,7 +105,7 @@ class Resource:
             return
         grant = yield self.acquire()
         try:
-            yield Timeout(self.sim, duration)
+            yield duration
         finally:
             self.release(grant)
 
@@ -192,4 +192,4 @@ class TokenBucket:
                 return
             deficit = cost - self._tokens
             wait_ns = int(deficit * 1e9 / self.rate_per_sec) + 1
-            yield Timeout(self.sim, wait_ns)
+            yield wait_ns

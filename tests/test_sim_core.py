@@ -141,7 +141,7 @@ class TestProcesses:
 
     def test_yielding_non_event_is_error(self, sim):
         def bad():
-            yield 42
+            yield "42ns"
 
         proc = sim.process(bad())
         with pytest.raises(SimulationError):
@@ -414,3 +414,272 @@ class TestSimulatorStats:
             return (sim.now, sim.stats)
 
         assert scenario() == scenario()
+
+
+class TestBareDelaySleep:
+    """``yield <int ns>`` — the zero-allocation sleep."""
+
+    def test_int_yield_advances_clock(self, sim):
+        def proc():
+            yield 100
+            return sim.now
+
+        assert sim.run_process(proc()) == 100
+
+    def test_zero_delay_yield_is_legal(self, sim):
+        def proc():
+            yield 0
+            return sim.now
+
+        assert sim.run_process(proc()) == 0
+
+    def test_integral_float_yield_accepted(self, sim):
+        def proc():
+            yield 25.0
+            return sim.now
+
+        assert sim.run_process(proc()) == 25
+
+    def test_fractional_float_yield_rejected(self, sim):
+        def proc():
+            yield 1.5
+
+        proc = sim.process(proc())
+        sim.run()
+        assert isinstance(proc.exception, SimulationError)
+
+    def test_negative_yield_fails_process(self, sim):
+        def proc():
+            yield -5
+
+        proc = sim.process(proc())
+        sim.run()
+        assert isinstance(proc.exception, SimulationError)
+        assert sim.failed_processes == [proc]
+
+    def test_schedule_identical_to_timeout(self):
+        """Int-yield and Timeout sleeps interleave bit-identically."""
+
+        def scenario(use_int):
+            sim = Simulator()
+            order = []
+
+            def worker(tag, delay):
+                for _ in range(3):
+                    if use_int:
+                        yield delay
+                    else:
+                        yield sim.timeout(delay)
+                    order.append((tag, sim.now))
+
+            for index in range(4):
+                sim.process(worker(index, 10 + index))
+            sim.run()
+            return (order, sim.now, sim.stats)
+
+        assert scenario(True) == scenario(False)
+
+    def test_interrupt_during_int_sleep(self, sim):
+        def sleeper():
+            try:
+                yield 1_000
+            except Interrupt as exc:
+                return ("interrupted", exc.cause, sim.now)
+            return ("slept", None, sim.now)
+
+        def poker(target):
+            yield 40
+            target.interrupt("wake")
+
+        proc = sim.process(sleeper())
+        sim.process(poker(proc))
+        sim.run()
+        assert proc.value == ("interrupted", "wake", 40)
+        # The stale sleep entry still fires at t=1000 but must not
+        # resume the (already finished) process.
+        assert sim.now == 1_000
+        assert not sim.failed_processes
+
+    def test_stale_sleep_does_not_double_resume(self, sim):
+        resumes = []
+
+        def sleeper():
+            try:
+                yield 1_000
+            except Interrupt:
+                pass
+            yield 2_000  # new sleep; the abandoned one fires at t=1000
+            resumes.append(sim.now)
+
+        def poker(target):
+            yield 40
+            target.interrupt()
+
+        proc = sim.process(sleeper())
+        sim.process(poker(proc))
+        sim.run()
+        assert resumes == [2_040]
+        assert proc.triggered
+
+    def test_stale_sleep_vs_event_wait(self, sim):
+        """A pending sleep abandoned for an event wait stays dead."""
+        event = sim.event()
+        woke = []
+
+        def sleeper():
+            try:
+                yield 5_000
+            except Interrupt:
+                pass
+            value = yield event
+            woke.append((value, sim.now))
+
+        def driver(target):
+            yield 40
+            target.interrupt()
+            yield 10_000  # past the abandoned sleep's t=5000 expiry
+            event.trigger("go")
+
+        proc = sim.process(sleeper())
+        sim.process(driver(proc))
+        sim.run()
+        assert woke == [("go", 10_040)]
+        assert proc.triggered
+
+
+class TestStaleWaiterPruning:
+    """S1: abandoned events must not queue dead callbacks."""
+
+    def test_interrupt_prunes_abandoned_event(self, sim):
+        event = sim.event()
+
+        def waiter():
+            try:
+                yield event
+            except Interrupt:
+                pass
+            yield 10_000
+
+        def driver(target):
+            yield 40
+            target.interrupt()
+            yield 10  # let the interrupt land first
+            event.trigger("late")
+
+        proc = sim.process(waiter())
+        sim.process(driver(proc))
+        sim.run()
+        assert proc.triggered
+        # The waiter callback was pruned at interrupt time, so the late
+        # trigger must find no callbacks at all.
+        assert event._callbacks is None
+
+    def test_events_executed_unchanged_by_late_trigger(self):
+        """Regression: the late trigger of an abandoned event used to
+        queue a useless immediate, inflating events_executed."""
+
+        def scenario(trigger_late):
+            sim = Simulator()
+            event = sim.event()
+
+            def waiter():
+                try:
+                    yield event
+                except Interrupt:
+                    pass
+                yield 100
+
+            def driver(target):
+                yield 40
+                target.interrupt()
+                yield 10
+                if trigger_late:
+                    event.trigger("late")
+
+            proc = sim.process(waiter())
+            sim.process(driver(proc))
+            sim.run()
+            assert proc.triggered
+            return sim.stats["events_executed"]
+
+        # Whether the abandoned event ever triggers must not change the
+        # number of callbacks the loop runs.
+        assert scenario(True) == scenario(False)
+
+    def test_shared_event_other_waiters_unaffected(self, sim):
+        event = sim.event()
+        woke = []
+
+        def waiter(tag):
+            try:
+                value = yield event
+                woke.append((tag, value))
+            except Interrupt:
+                pass
+
+        first = sim.process(waiter("a"))
+        sim.process(waiter("b"))
+
+        def driver():
+            yield 40
+            first.interrupt()
+            yield 10
+            event.trigger("go")
+
+        sim.process(driver())
+        sim.run()
+        assert woke == [("b", "go")]
+
+
+class TestAnyOfDetach:
+    """S2: AnyOf detaches from losing children once decided."""
+
+    def test_losers_detached_after_winner(self, sim):
+        slow = sim.event()
+        fast = sim.event()
+
+        def racer():
+            first = yield sim.any_of([slow, fast])
+            return first.value
+
+        def driver():
+            yield 10
+            fast.trigger("fast")
+
+        proc = sim.process(racer())
+        sim.process(driver())
+        sim.run()
+        assert proc.value == "fast"
+        assert slow._callbacks is None  # detached, not just ignored
+
+    def test_losing_trigger_queues_no_callback(self):
+        def scenario(trigger_loser):
+            sim = Simulator()
+            slow = sim.event()
+            fast = sim.event()
+
+            def racer():
+                yield sim.any_of([slow, fast])
+
+            def driver():
+                yield 10
+                fast.trigger("fast")
+                yield 10
+                if trigger_loser:
+                    slow.trigger("slow")
+
+            sim.process(racer())
+            sim.process(driver())
+            sim.run()
+            return sim.stats["events_executed"]
+
+        assert scenario(True) == scenario(False)
+
+    def test_any_of_timeout_losers_still_fire_harmlessly(self, sim):
+        def proc():
+            first = yield sim.any_of([sim.timeout(30, "slow"),
+                                      sim.timeout(10, "fast")])
+            return (first.value, sim.now)
+
+        assert sim.run_process(proc()) == ("fast", 10)
+        assert sim.now == 30  # loser still drains from the heap

@@ -129,13 +129,19 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.append:
-        from perf_smoke import WORKLOADS, run_workload
+        from perf_smoke import ALL_WORKLOADS, run_workload
         rates = {}
-        for name in sorted(WORKLOADS):
+        for name in sorted(ALL_WORKLOADS):
             result = run_workload(name, reps=args.reps)
             rates[name] = result["events_per_sec"]
-            print(f"{name}: {result['events_per_sec']:,d} events/s",
-                  file=sys.stderr)
+            line = f"{name}: {result['events_per_sec']:,d} events/s"
+            if "speedup" in result:
+                # The cluster workload also tracks its sharded-vs-serial
+                # win as a first-class trajectory column.
+                rates[f"{name}_serial"] = \
+                    result["serial_events_per_sec"]
+                line += f" ({result['speedup']:.2f}x over serial)"
+            print(line, file=sys.stderr)
         entry = append_entry(args.history, events_per_sec=rates)
         print(f"recorded {entry['sha']} in {args.history}",
               file=sys.stderr)

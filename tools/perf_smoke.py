@@ -10,6 +10,12 @@ many kernel events per CPU-second the simulator sustains:
 * ``table3_flood`` — ib_write_bw-style WRITE and CAS floods across 8
   QPs (the Table 3 scenario): batch prefetch, pipelined completions,
   atomic serialization.
+* ``cluster_simspeed`` — 16 testbeds on the sharded simulator
+  (``repro.bench.cluster``): closed-loop cross-bed RPCs over 1 µs
+  inter-shard links, driven once by the conservative sharded
+  synchronizer and once by the one-timestamp-window serial merge. The
+  two drives must be bit-identical; their events/sec ratio is the
+  recorded ``speedup``.
 
 Methodology: the testbed build (allocating the 256 MB simulated DRAM
 dominates setup) is excluded; only the simulation run phase is timed,
@@ -26,7 +32,8 @@ The committed baseline lives in ``BENCH_simspeed.json`` at the repo
 root. Exit status:
 
 * 0 — within tolerance of the baseline (or baseline just [re]written),
-* 1 — events/sec regressed more than 30% on any workload,
+* 1 — events/sec regressed more than 30% on any workload, or the
+  cluster workload's sharded-vs-serial speedup fell below the floor,
 * 2 — determinism fingerprint drifted (simulated results changed —
   that is a correctness bug, not a perf problem),
 * 3 — ``--check`` was asked but no committed baseline exists.
@@ -50,6 +57,11 @@ if str(SRC) not in sys.path:
 
 BASELINE_PATH = REPO_ROOT / "BENCH_simspeed.json"
 REGRESSION_TOLERANCE = 0.30
+# The cluster workload must keep a real sharded-vs-serial win. The
+# committed baseline records the measured speedup (>= 2.5x); the CI
+# floor is deliberately conservative so shared-runner noise does not
+# flake the gate.
+CLUSTER_SPEEDUP_FLOOR = 1.5
 
 LIST_SIZE = 8
 VALUE_SIZE = 64
@@ -175,6 +187,65 @@ WORKLOADS = {
     "table3_flood": _build_table3,
 }
 
+CLUSTER_WORKLOAD = "cluster_simspeed"
+
+#: Every workload perf_smoke measures, in reporting order.
+ALL_WORKLOADS = list(WORKLOADS) + [CLUSTER_WORKLOAD]
+
+
+def _drive_cluster(serial: bool):
+    """One timed cluster drive; returns (fingerprint, events, cpu)."""
+    from repro.bench.cluster import build_cluster
+
+    scenario = build_cluster()
+    events_before = sum(scenario.events_executed())
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.process_time()
+        fingerprint, _measures = scenario.run(serial=serial)
+        cpu = time.process_time() - start
+    finally:
+        gc.enable()
+    events = sum(scenario.events_executed()) - events_before
+    return fingerprint, events, cpu
+
+
+def run_cluster_workload(reps: int = 3):
+    """Measure the cluster workload in both drive modes.
+
+    Every rep builds two fresh scenarios — one driven by the sharded
+    synchronizer, one by the serial merge — and their fingerprints and
+    event counts must be bit-identical (that is the workload's
+    correctness claim, checked every run, not just in tests). The best
+    rep per mode counts; ``speedup`` is the events/sec ratio.
+    """
+    best = {"sharded": None, "serial": None}
+    fingerprint = None
+    events = None
+    for _ in range(reps):
+        for mode in ("sharded", "serial"):
+            fp, ev, cpu = _drive_cluster(serial=(mode == "serial"))
+            if fingerprint is None:
+                fingerprint, events = fp, ev
+            elif (fp, ev) != (fingerprint, events):
+                raise AssertionError(
+                    f"{CLUSTER_WORKLOAD}: {mode} drive diverged: "
+                    f"{(fp, ev)} != {(fingerprint, events)}")
+            if best[mode] is None or cpu < best[mode]:
+                best[mode] = cpu
+    rate = round(events / best["sharded"]) if best["sharded"] else 0
+    serial_rate = round(events / best["serial"]) if best["serial"] else 0
+    return {
+        "events": events,
+        "cpu_seconds": round(best["sharded"], 4),
+        "events_per_sec": rate,
+        "serial_cpu_seconds": round(best["serial"], 4),
+        "serial_events_per_sec": serial_rate,
+        "speedup": round(rate / serial_rate, 2) if serial_rate else 0.0,
+        "fingerprint": fingerprint,
+    }
+
 
 def run_workload(name: str, reps: int = 3):
     """Measure one workload; returns a result dict for the baseline.
@@ -183,6 +254,8 @@ def run_workload(name: str, reps: int = 3):
     the best rep's CPU time counts. Fingerprints must agree across reps
     — same-process nondeterminism would already be a bug.
     """
+    if name == CLUSTER_WORKLOAD:
+        return run_cluster_workload(reps=reps)
     build = WORKLOADS[name]
     best_cpu = None
     events = None
@@ -219,6 +292,40 @@ def run_workload(name: str, reps: int = 3):
     }
 
 
+def profile_workloads(top: int = 25) -> str:
+    """Run every workload once under cProfile; return a text report.
+
+    This is the CI artifact behind ``--profile``: when the perf gate
+    flags a regression, the hotspot table says *where* the cycles went
+    without anyone having to reproduce the run locally.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    sections = []
+    for name in ALL_WORKLOADS:
+        profiler = cProfile.Profile()
+        if name == CLUSTER_WORKLOAD:
+            from repro.bench.cluster import build_cluster
+            scenario = build_cluster()
+            profiler.enable()
+            scenario.run(serial=False)
+            profiler.disable()
+        else:
+            sim, run = WORKLOADS[name]()
+            profiler.enable()
+            run()
+            profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(top)
+        stats.sort_stats("tottime").print_stats(top)
+        sections.append(f"=== {name} (top {top} by cumulative, "
+                        f"then by tottime) ===\n{buffer.getvalue()}")
+    return "\n".join(sections)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--update-baseline", action="store_true",
@@ -228,16 +335,32 @@ def main(argv=None) -> int:
                              "baseline; exit 3 if it is missing")
     parser.add_argument("--reps", type=int, default=3,
                         help="reps per workload (best counts, default 3)")
+    parser.add_argument("--profile", metavar="FILE", default=None,
+                        help="also run each workload once under cProfile "
+                             "and write a top-hotspot report to FILE "
+                             "('-' for stdout)")
     args = parser.parse_args(argv)
     if args.check and args.update_baseline:
         parser.error("--check and --update-baseline are exclusive")
 
     results = {}
-    for name in WORKLOADS:
+    for name in ALL_WORKLOADS:
         results[name] = run_workload(name, reps=args.reps)
         r = results[name]
-        print(f"{name:24s} {r['events_per_sec']:>10,d} events/s "
-              f"({r['events']} events in {r['cpu_seconds']:.3f}s CPU)")
+        line = (f"{name:24s} {r['events_per_sec']:>10,d} events/s "
+                f"({r['events']} events in {r['cpu_seconds']:.3f}s CPU)")
+        if "speedup" in r:
+            line += (f" | serial {r['serial_events_per_sec']:,d} ev/s"
+                     f" | speedup {r['speedup']:.2f}x")
+        print(line)
+
+    if args.profile is not None:
+        report = profile_workloads()
+        if args.profile == "-":
+            print(report)
+        else:
+            Path(args.profile).write_text(report)
+            print(f"profile report written: {args.profile}")
 
     if args.check and not BASELINE_PATH.exists():
         print(f"--check: no baseline at {BASELINE_PATH} "
@@ -270,6 +393,13 @@ def main(argv=None) -> int:
             print(f"{name}: REGRESSION — {result['events_per_sec']:,d} "
                   f"events/s is {ratio:.2f}x of baseline "
                   f"{base['events_per_sec']:,d}")
+            status = max(status, 1)
+        elif (name == CLUSTER_WORKLOAD
+              and result["speedup"] < CLUSTER_SPEEDUP_FLOOR):
+            print(f"{name}: SPEEDUP LOST — sharded is only "
+                  f"{result['speedup']:.2f}x of the serial merge "
+                  f"(floor {CLUSTER_SPEEDUP_FLOOR}x, baseline "
+                  f"{base.get('speedup', '?')}x)")
             status = max(status, 1)
         else:
             print(f"{name}: ok ({ratio:.2f}x of baseline)")
