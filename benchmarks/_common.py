@@ -22,7 +22,7 @@ from repro.bench import render_table
 __all__ = ["run_once", "print_comparison", "Testbed", "within_factor",
            "set_trace_output", "set_breakdown_output", "flush_trace",
            "set_journal_output", "set_history_output", "flush_history",
-           "mark_request"]
+           "set_telemetry_output", "mark_request"]
 
 # -- optional tracing (pytest --trace OUT.json / REPRO_TRACE=OUT.json) ----
 
@@ -33,10 +33,14 @@ BREAKDOWN_PATH: Optional[str] = \
     os.environ.get("REPRO_BREAKDOWN") or None
 #: Where to write the merged flight-recorder journal, or None.
 JOURNAL_PATH: Optional[str] = os.environ.get("REPRO_JOURNAL") or None
+#: Where to write the merged fleet telemetry JSONL stream, or None
+#: (pytest ``--telemetry OUT.jsonl`` / env ``REPRO_TELEMETRY``).
+TELEMETRY_PATH: Optional[str] = os.environ.get("REPRO_TELEMETRY") or None
 #: Where to append this run's results (tools/bench_history.py format).
 HISTORY_PATH: Optional[str] = None
 _tracers: List = []
 _recorders: List = []
+_fleet = None  # session-wide repro.obs.telemetry.FleetTelemetry
 _history_samples: Dict[str, Dict] = {}
 
 
@@ -57,6 +61,13 @@ def set_journal_output(path: Optional[str]) -> None:
     after this call (pytest ``--journal OUT.jsonl``)."""
     global JOURNAL_PATH
     JOURNAL_PATH = path
+
+
+def set_telemetry_output(path: Optional[str]) -> None:
+    """Enable windowed fleet telemetry for every Testbed built after
+    this call (pytest ``--telemetry OUT.jsonl``)."""
+    global TELEMETRY_PATH
+    TELEMETRY_PATH = path
 
 
 def set_history_output(path: Optional[str]) -> None:
@@ -127,6 +138,16 @@ def flush_trace() -> Optional[str]:
         for recorder in _recorders:
             recorder.close()
         _recorders = []
+    global _fleet
+    if _fleet is not None:
+        records = _fleet.finalize()
+        if TELEMETRY_PATH:
+            with open(TELEMETRY_PATH, "w") as handle:
+                handle.write(_fleet.to_jsonl())
+            print(f"\n[telemetry] wrote {len(records)} window records "
+                  f"to {TELEMETRY_PATH}")
+        _fleet.close()
+        _fleet = None
     return written
 
 
@@ -170,6 +191,14 @@ class Testbed(_BaseTestbed):
             for client in self.clients:
                 self.recorder.attach_nic(client.nic)
             _recorders.append(self.recorder)
+        self.telemetry = None
+        if TELEMETRY_PATH:
+            global _fleet
+            if _fleet is None:
+                from repro.obs import FleetTelemetry
+                _fleet = FleetTelemetry()
+            self.telemetry = _fleet.attach(
+                self.sim, bed=f"bed{len(_fleet.collectors)}")
 
 
 def run_once(benchmark, fn: Callable[[], Dict]) -> Dict:

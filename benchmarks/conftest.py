@@ -42,6 +42,10 @@ def pytest_addoption(parser):
         default=None, metavar="FILE",
         help="append this run's benchmark results to a history file "
              "(default BENCH_history.json, see tools/bench_history.py)")
+    parser.addoption(
+        "--telemetry", default=None, metavar="OUT.jsonl",
+        help="record windowed fleet telemetry of every simulated bed "
+             "to this JSONL file (see tools/fleet_top.py --input)")
 
 
 def pytest_configure(config):
@@ -57,6 +61,9 @@ def pytest_configure(config):
     history = config.getoption("--history", default=None)
     if history:
         _common.set_history_output(history)
+    telemetry = config.getoption("--telemetry", default=None)
+    if telemetry:
+        _common.set_telemetry_output(telemetry)
 
 
 def pytest_unconfigure(config):

@@ -27,8 +27,10 @@ while the serial merge pays one visit per distinct timestamp.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs as _obs
 from ..ibv import wr_cas, wr_write
 from ..sim.sharded import Shard, ShardChannel, ShardedSimulation
 from .testbed import Testbed
@@ -45,6 +47,13 @@ THINK_NS = 2000
 WRITES_PER_REQUEST = 8
 
 _BED_MEMORY = 4 * 1024 * 1024
+
+#: Hot-key skew for telemetry attribution: 16 logical keys with a
+#: zipf-ish mass concentration on key 0 — a pure function of
+#: (bed, client, seq), so the key stream is deterministic and
+#: mode-independent like everything else in the fingerprint.
+_SKEW_TABLE = ("k0", "k0", "k0", "k0", "k0", "k1", "k1", "k1",
+               "k2", "k2", "k3", "k3", "k4", "k5", "k6", "k7")
 
 
 class _BedRig:
@@ -84,9 +93,14 @@ class _BedRig:
 def _frontend(rig: _BedRig, reply_to: Dict[int, ShardChannel]):
     """Serve inbound RPCs forever; quiesces between requests."""
     rpc = rig.shard.mailbox("rpc")
+    sim = rig.bed.sim
     while True:
         src_index, client_id, seq = yield rpc.get()
         yield rig.service()
+        if _obs.enabled:
+            telemetry = sim.telemetry
+            if telemetry is not None:
+                telemetry.serviced()
         reply_to[src_index].send(f"rsp{client_id}", seq)
 
 
@@ -108,12 +122,20 @@ def _client(rig: _BedRig, chan: ShardChannel, client_id: int,
         yield start_skew
     latency_sum = 0
     dither_base = rig.shard.index * 13 + client_id * 7
+    bed_index = rig.shard.index
     for seq in range(requests):
         start = sim.now
-        chan.send("rpc", (rig.shard.index, client_id, seq))
+        chan.send("rpc", (bed_index, client_id, seq))
         reply = yield rsp.get()
         assert reply == seq, f"out-of-order reply {reply} != {seq}"
         latency_sum += sim.now - start
+        if _obs.enabled:
+            telemetry = sim.telemetry
+            if telemetry is not None:
+                telemetry.request_complete(
+                    sim.now - start,
+                    key=_SKEW_TABLE[(bed_index * 31 + client_id * 17
+                                     + seq * 7) % 16])
         yield THINK_NS + (dither_base + seq * 31) % 97
     return latency_sum
 
@@ -146,6 +168,29 @@ class ClusterScenario:
             self._forward.append(fwd)
             self._reply_to[nxt][index] = back
         self._ran = False
+        self._telemetry = None
+        self._telemetry_path: Optional[str] = None
+
+    def attach_telemetry(self, window_ns: Optional[int] = None,
+                         sink=None, path: Optional[str] = None):
+        """Attach a per-bed telemetry collector fleet before running.
+
+        Returns the :class:`~repro.obs.telemetry.FleetTelemetry`; its
+        merged record stream is finalized by :meth:`run` and, when
+        ``path`` is given, written there as JSONL.
+        """
+        from ..obs.telemetry import DEFAULT_WINDOW_NS, FleetTelemetry
+        if self._telemetry is not None:
+            raise RuntimeError("telemetry already attached")
+        fleet = FleetTelemetry(
+            window_ns=window_ns or DEFAULT_WINDOW_NS, sink=sink)
+        for rig in self.rigs:
+            fleet.attach(rig.bed.sim, bed=rig.shard.name,
+                         shard=rig.shard.index)
+        self.sharded.telemetry = fleet
+        self._telemetry = fleet
+        self._telemetry_path = path
+        return fleet
 
     def events_executed(self) -> List[int]:
         """Per-bed kernel event counts — part of the identity surface."""
@@ -195,12 +240,31 @@ class ClusterScenario:
             "rounds": self.sharded.rounds,
             "messages": self.sharded.fabric.messages_sent,
         }
+        if self._telemetry is not None:
+            records = self._telemetry.finalize()
+            self._telemetry.close()
+            measures["telemetry_records"] = len(records)
+            if self._telemetry_path:
+                with open(self._telemetry_path, "w") as handle:
+                    handle.write(self._telemetry.to_jsonl())
         return fingerprint, measures
 
 
 def build_cluster(num_beds: int = 16, clients_per_bed: int = 1,
                   requests_per_client: int = 40,
-                  link_ns: int = CLUSTER_LINK_NS) -> ClusterScenario:
-    """The canonical ``cluster_simspeed`` configuration."""
-    return ClusterScenario(num_beds, clients_per_bed,
-                           requests_per_client, link_ns)
+                  link_ns: int = CLUSTER_LINK_NS,
+                  telemetry_path: Optional[str] = None
+                  ) -> ClusterScenario:
+    """The canonical ``cluster_simspeed`` configuration.
+
+    ``telemetry_path`` (default: the ``REPRO_TELEMETRY`` environment
+    variable) attaches the telemetry fleet and writes the merged JSONL
+    stream there after the run.
+    """
+    scenario = ClusterScenario(num_beds, clients_per_bed,
+                               requests_per_client, link_ns)
+    if telemetry_path is None:
+        telemetry_path = os.environ.get("REPRO_TELEMETRY") or None
+    if telemetry_path:
+        scenario.attach_telemetry(path=telemetry_path)
+    return scenario

@@ -122,6 +122,9 @@ class SendQueueDriver:
                 if recorder is not None:
                     recorder.on_fetch(wq, wr_index, cursor, slots, wqe,
                                       wq._last_decode_cached)
+                telemetry = sim.telemetry
+                if telemetry is not None:
+                    telemetry.on_fetch(wq, 1)
             return [(wqe, wr_index)]
 
         count = min(wq.fetchable, timing.prefetch_batch)
@@ -140,6 +143,7 @@ class SendQueueDriver:
             return []
         tracer = sim.tracer if _obs.enabled else None
         recorder = sim.recorder if _obs.enabled else None
+        telemetry = sim.telemetry if _obs.enabled else None
         fetch_meta = ([] if (tracer is not None or recorder is not None)
                       else None)
         batch = []
@@ -164,6 +168,8 @@ class SendQueueDriver:
             for (wqe, wr_index), (cursor, slots, cached) in zip(
                     batch, fetch_meta):
                 recorder.on_fetch(wq, wr_index, cursor, slots, wqe, cached)
+        if telemetry is not None and batch:
+            telemetry.on_fetch(wq, len(batch))
         return batch
 
     # -- execute path -----------------------------------------------------------
@@ -190,6 +196,9 @@ class SendQueueDriver:
             recorder = sim.recorder
             if recorder is not None:
                 recorder.on_exec(wq, wr_index, wqe)
+            telemetry = sim.telemetry
+            if telemetry is not None:
+                telemetry.on_exec(wq)
 
         if wq.rate_limiter is not None:
             yield from wq.rate_limiter.throttle(1.0)
@@ -241,6 +250,9 @@ class SendQueueDriver:
             tracer = sim.tracer
             if tracer is not None:
                 tracer.pu_span(self.nic, wq, opcode, pu_start)
+            telemetry = sim.telemetry
+            if telemetry is not None:
+                telemetry.on_pu(wq, sim.now - pu_start)
 
         prev = self._prev_completion
         done = sim.event()

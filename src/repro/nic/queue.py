@@ -109,6 +109,9 @@ class CompletionQueue:
             recorder = self.sim.recorder
             if recorder is not None:
                 recorder.on_cqe(self, cqe)
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                telemetry.on_cqe(self)
         if self._watchers:
             ready = [(n, ev) for n, ev in self._watchers if self.count >= n]
             if ready:
@@ -309,6 +312,9 @@ class WorkQueue:
             recorder = self.sim.recorder
             if recorder is not None:
                 recorder.on_post(self, wr_index, cursor, slots, wqe)
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                telemetry.on_post(self)
         if ring_doorbell is None:
             ring_doorbell = not self.managed
         if ring_doorbell:
@@ -329,6 +335,9 @@ class WorkQueue:
             recorder = self.sim.recorder
             if recorder is not None:
                 recorder.on_doorbell(self, target)
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                telemetry.on_doorbell(self)
         if self.doorbell_delay_ns > 0:
             self.sim.schedule_at(self.sim.now + self.doorbell_delay_ns,
                                  self._raise_enabled, target)

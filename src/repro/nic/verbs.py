@@ -115,6 +115,9 @@ class VerbExecutor:
                 tracer = nic.sim.tracer
                 if tracer is not None:
                     tracer.dma_span(nic, nbytes, start)
+                telemetry = nic.sim.telemetry
+                if telemetry is not None:
+                    telemetry.on_dma(nic, nbytes)
 
     def _scatter_bytes(self, nic: "RNIC", data: bytes,
                        sges: List[Sge], laddr: int, length: int) -> int:
@@ -245,6 +248,10 @@ class VerbExecutor:
             recv_wqe, slots = recv_wq.read_wqe_at_cursor()
             recv_wq.advance_fetch(slots)
             engine.release(fetch_grant)
+            if _obs.enabled:
+                telemetry = rnic.sim.telemetry
+                if telemetry is not None:
+                    telemetry.on_fetch(recv_wq, 1)
         finally:
             recv_wq.consume_lock.release(grant)
         written = byte_len

@@ -67,6 +67,15 @@ __all__ = [
     "MetricsRegistry",
     "Histogram",
     "parse_openmetrics",
+    "to_openmetrics_multi",
+    "DEFAULT_WINDOW_NS",
+    "TelemetryCollector",
+    "FleetTelemetry",
+    "SloRule",
+    "BurnAlert",
+    "load_slo_rules",
+    "evaluate_slo",
+    "summarize_records",
     "TraceData",
     "load_trace",
     "summarize_trace",
@@ -133,6 +142,15 @@ _LAZY = {
     "MetricsRegistry": "metrics",
     "Histogram": "metrics",
     "parse_openmetrics": "metrics",
+    "to_openmetrics_multi": "metrics",
+    "DEFAULT_WINDOW_NS": "telemetry",
+    "TelemetryCollector": "telemetry",
+    "FleetTelemetry": "telemetry",
+    "SloRule": "telemetry",
+    "BurnAlert": "telemetry",
+    "load_slo_rules": "telemetry",
+    "evaluate_slo": "telemetry",
+    "summarize_records": "telemetry",
     "TraceData": "inspect",
     "load_trace": "inspect",
     "summarize_trace": "inspect",

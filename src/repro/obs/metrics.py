@@ -26,7 +26,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Callable, Dict, List
 
-__all__ = ["MetricsRegistry", "Histogram", "parse_openmetrics"]
+__all__ = ["MetricsRegistry", "Histogram", "parse_openmetrics",
+           "to_openmetrics_multi"]
 
 
 def _om_name(name: str) -> str:
@@ -75,6 +76,48 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram in place; returns self.
+
+        Log-bucketed histograms merge by plain bucket-count addition,
+        which makes the operation associative and commutative — the
+        property the telemetry plane's cross-window / cross-bed
+        aggregation relies on (``merge(a, b) == merge(b, a)``, tested).
+        """
+        counts = self.counts
+        for bucket, bucket_count in enumerate(other.counts):
+            if bucket_count:
+                counts[bucket] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+        return self
+
+    @classmethod
+    def from_snapshot(cls, snap: Dict[str, Any],
+                      name: str = "") -> "Histogram":
+        """Rebuild a histogram from :meth:`snapshot` output.
+
+        Sparse ``le_<upper>`` bucket keys map back to bucket indices
+        (``upper`` is ``2^b - 1``, so ``upper.bit_length()`` is ``b``).
+        Telemetry window records embed snapshots; this is how they are
+        re-aggregated into run- or fleet-level distributions.
+        """
+        histogram = cls(name)
+        for key, bucket_count in snap.get("buckets", {}).items():
+            upper = int(key[3:]) if key.startswith("le_") else int(key)
+            histogram.counts[upper.bit_length()] += bucket_count
+        histogram.count = snap.get("count", 0)
+        histogram.total = snap.get("sum", 0)
+        histogram.min = snap.get("min")
+        histogram.max = snap.get("max")
+        return histogram
 
     def quantile(self, fraction: float) -> int:
         """Upper bound of the bucket holding the ``fraction`` quantile."""
@@ -156,7 +199,8 @@ class MetricsRegistry:
                            in sorted(self._histograms.items())},
         }
 
-    def to_openmetrics(self) -> str:
+    def to_openmetrics(self, labels: Dict[str, str] = None,
+                       eof: bool = True) -> str:
         """The registry in OpenMetrics/Prometheus text format.
 
         Counter families become one ``<name>_total`` series per key
@@ -165,15 +209,28 @@ class MetricsRegistry:
         standard cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count``
         series using the power-of-two bucket upper bounds. Output is
         deterministic (sorted) and ends with the ``# EOF`` marker.
+
+        ``labels`` adds constant label pairs (e.g. ``{"bed":
+        "server-0"}``) to every sample, which is how multi-bed
+        snapshots share one export without colliding on metric name;
+        ``eof=False`` omits the trailing marker so several labeled
+        registries can be concatenated (see
+        :func:`to_openmetrics_multi`).
         """
+        pairs = ["%s=\"%s\"" % (_om_name(key), _om_label(str(value)))
+                 for key, value in sorted((labels or {}).items())]
+        extra = "{" + ",".join(pairs) + "}" if pairs else ""
+
+        def labeled(inner: str) -> str:
+            return "{" + ",".join(pairs + [inner]) + "}"
+
         lines: List[str] = []
         for name, counter in sorted(self._counters.items()):
             metric = _om_name(name)
             lines.append(f"# TYPE {metric} counter")
             for key, value in sorted(counter.items()):
-                lines.append(
-                    f'{metric}_total{{key="{_om_label(str(key))}"}} '
-                    f"{value}")
+                series = labeled("key=\"%s\"" % _om_label(str(key)))
+                lines.append(f"{metric}_total{series} {value}")
         for name, fn in sorted(self._gauges.items()):
             value = fn()
             if isinstance(value, bool) or not isinstance(value,
@@ -181,7 +238,7 @@ class MetricsRegistry:
                 continue
             metric = _om_name(name)
             lines.append(f"# TYPE {metric} gauge")
-            lines.append(f"{metric} {value}")
+            lines.append(f"{metric}{extra} {value}")
         for name, histogram in sorted(self._histograms.items()):
             metric = _om_name(name)
             lines.append(f"# TYPE {metric} histogram")
@@ -190,14 +247,28 @@ class MetricsRegistry:
                 if bucket_count:
                     cumulative += bucket_count
                     upper = (1 << bucket) - 1 if bucket else 0
-                    lines.append(
-                        f'{metric}_bucket{{le="{upper}"}} {cumulative}')
-            lines.append(
-                f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
-            lines.append(f"{metric}_sum {histogram.total}")
-            lines.append(f"{metric}_count {histogram.count}")
-        lines.append("# EOF")
+                    series = labeled("le=\"%d\"" % upper)
+                    lines.append(f"{metric}_bucket{series} {cumulative}")
+            series = labeled("le=\"+Inf\"")
+            lines.append(f"{metric}_bucket{series} {histogram.count}")
+            lines.append(f"{metric}_sum{extra} {histogram.total}")
+            lines.append(f"{metric}_count{extra} {histogram.count}")
+        if eof:
+            lines.append("# EOF")
         return "\n".join(lines) + "\n"
+
+
+def to_openmetrics_multi(registries: Dict[str, "MetricsRegistry"],
+                         label: str = "bed") -> str:
+    """Several registries as one labeled OpenMetrics document.
+
+    Each registry's samples carry ``<label>="<name>"`` so a multi-bed
+    cluster exports without metric-name collisions; parse a single
+    bed back out with ``parse_openmetrics(text, labels={"bed": name})``.
+    """
+    chunks = [registry.to_openmetrics(labels={label: name}, eof=False)
+              for name, registry in sorted(registries.items())]
+    return "".join(chunks) + "# EOF\n"
 
 
 def _om_value(text: str):
@@ -205,7 +276,9 @@ def _om_value(text: str):
     return int(number) if number.is_integer() else number
 
 
-def parse_openmetrics(text: str) -> Dict[str, Dict[str, Any]]:
+def parse_openmetrics(text: str,
+                      labels: Dict[str, str] = None
+                      ) -> Dict[str, Dict[str, Any]]:
     """Parse :meth:`MetricsRegistry.to_openmetrics` output back.
 
     Returns ``{"counters": {name: {key: value}}, "gauges": {name:
@@ -213,11 +286,17 @@ def parse_openmetrics(text: str) -> Dict[str, Dict[str, Any]]:
     histogram buckets de-cumulated back to ``le_<upper>`` counts — the
     exact shape :meth:`Histogram.snapshot` uses, so round-trip tests
     can compare directly against a snapshot.
+
+    ``labels`` filters the parse to samples carrying all the given
+    label pairs (the selector for one bed inside a
+    :func:`to_openmetrics_multi` document). ``None`` keeps every
+    sample, matching the historical behavior.
     """
     types: Dict[str, str] = {}
     counters: Dict[str, Dict[str, Any]] = {}
     gauges: Dict[str, Any] = {}
     raw_hists: Dict[str, Dict[str, Any]] = {}
+    wanted = {key: str(value) for key, value in (labels or {}).items()}
     for line in text.splitlines():
         if not line.strip():
             continue
@@ -228,13 +307,16 @@ def parse_openmetrics(text: str) -> Dict[str, Dict[str, Any]]:
             continue
         series, _, value_text = line.rpartition(" ")
         value = _om_value(value_text)
-        labels: Dict[str, str] = {}
+        sample_labels: Dict[str, str] = {}
         if "{" in series:
             series, _, label_text = series.partition("{")
             for item in label_text.rstrip("}").split(","):
                 key, _, quoted = item.partition("=")
-                labels[key] = quoted.strip('"').replace('\\"', '"') \
-                    .replace("\\\\", "\\")
+                sample_labels[key] = quoted.strip('"') \
+                    .replace('\\"', '"').replace("\\\\", "\\")
+        if any(sample_labels.get(key) != value
+               for key, value in wanted.items()):
+            continue
         for suffix, family in (("_bucket", "histogram"),
                                ("_sum", "histogram"),
                                ("_count", "histogram"),
@@ -243,7 +325,7 @@ def parse_openmetrics(text: str) -> Dict[str, Dict[str, Any]]:
             if base and types.get(base) == family:
                 if family == "counter":
                     counters.setdefault(base, {})[
-                        labels.get("key", "")] = value
+                        sample_labels.get("key", "")] = value
                 else:
                     hist = raw_hists.setdefault(
                         base, {"count": 0, "sum": 0, "buckets": {}})
@@ -252,7 +334,8 @@ def parse_openmetrics(text: str) -> Dict[str, Dict[str, Any]]:
                     elif suffix == "_count":
                         hist["count"] = value
                     else:
-                        hist["buckets"][labels.get("le", "+Inf")] = value
+                        hist["buckets"][
+                            sample_labels.get("le", "+Inf")] = value
                 break
         else:
             if types.get(series) == "gauge":

@@ -172,6 +172,9 @@ class OffloadClient:
                     if tracer is not None:
                         tracer.offload_call(self.conn, start, True,
                                             len(data))
+                    telemetry = self.sim.telemetry
+                    if telemetry is not None:
+                        telemetry.request_complete(self.sim.now - start)
                 return CallResult(True, data, cqe.immediate,
                                   self.sim.now - start)
             if deadline.triggered:
@@ -179,5 +182,8 @@ class OffloadClient:
                     tracer = self.sim.tracer
                     if tracer is not None:
                         tracer.offload_call(self.conn, start, False, 0)
+                    telemetry = self.sim.telemetry
+                    if telemetry is not None:
+                        telemetry.request_complete(self.sim.now - start)
                 return CallResult(False, latency_ns=self.sim.now - start)
             yield self.sim.any_of([cq.wait_for_event(), deadline])

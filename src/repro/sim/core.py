@@ -503,6 +503,9 @@ class Simulator:
         #: Attached :class:`repro.obs.recorder.FlightRecorder`, or None
         #: — same contract as ``tracer``.
         self.recorder = None
+        #: Attached :class:`repro.obs.telemetry.TelemetryCollector`, or
+        #: None — same contract as ``tracer``.
+        self.telemetry = None
         self._metrics = None
 
     # -- scheduling ------------------------------------------------------

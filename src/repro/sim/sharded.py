@@ -236,6 +236,14 @@ class ShardedSimulation:
         self.shards: List[Shard] = []
         #: Rounds executed by the last :meth:`run`/:meth:`run_serial`.
         self.rounds = 0
+        #: Attached :class:`repro.obs.telemetry.FleetTelemetry`, or
+        #: None. The driver only ever calls ``flush(t_min)`` — every
+        #: shard's future events are at or past ``t_min``, so windows
+        #: ending at or before it are final and safe to emit. Record
+        #: *content* never depends on this timing (see the telemetry
+        #: module docstring), which is why sharded and serial drives
+        #: emit byte-identical streams.
+        self.telemetry = None
 
     # -- topology ----------------------------------------------------------
 
@@ -315,6 +323,8 @@ class ShardedSimulation:
                 break  # globally quiescent, nothing in flight
             if until is not None and t_min > until:
                 break
+            if self.telemetry is not None:
+                self.telemetry.flush(t_min)
             self.rounds += 1
             for shard in shards:
                 if serial:

@@ -21,7 +21,7 @@ import pytest
 from repro.ibv import VerbsContext, wr_fetch_add, wr_noop, wr_write
 from repro.memory import HostMemory, ProtectionDomain
 from repro.nic import RNIC
-from repro.obs import FlightRecorder, Tracer
+from repro.obs import FleetTelemetry, FlightRecorder, Tracer
 from repro.redn import ProgramBuilder, RecycledLoop, RednContext
 from repro.sim import Simulator
 
@@ -38,15 +38,17 @@ def build_rig():
     return sim, memory, nic, pd, qp_a, qp_b, verbs
 
 
-def run_scenario(trace: bool, record: bool = False):
+def run_scenario(trace: bool, record: bool = False,
+                 telemetry: bool = False):
     """A mixed workload: recycled self-modifying loop + WRITE chain.
 
-    Returns (trace_json_or_None, fingerprint) — or, with ``record``,
-    (journal_jsonl, fingerprint).
+    Returns (trace_json_or_None, fingerprint) — or, with ``record``
+    (``telemetry``), the journal (telemetry) JSONL instead.
     """
     sim, memory, nic, pd, qp_a, qp_b, verbs = build_rig()
     tracer = None
     recorder = None
+    fleet = None
     if trace:
         tracer = Tracer(sim, name="det")
         tracer.attach_nic(nic)
@@ -54,6 +56,9 @@ def run_scenario(trace: bool, record: bool = False):
         recorder = FlightRecorder(sim, name="det",
                                   checkpoint_interval=16)
         recorder.attach_nic(nic)
+    if telemetry:
+        fleet = FleetTelemetry(window_ns=10_000)
+        fleet.attach(sim, bed="det")
 
     ctx = RednContext(nic, pd, owner="det", name="detctx")
     builder = ProgramBuilder(ctx, name="det-loop")
@@ -97,6 +102,10 @@ def run_scenario(trace: bool, record: bool = False):
         text = recorder.to_jsonl()
         assert recorder.violations == []
         recorder.close()
+    if fleet is not None:
+        fleet.finalize()
+        text = fleet.to_jsonl()
+        fleet.close()
     return text, fingerprint
 
 
@@ -123,6 +132,20 @@ def test_recorder_off_traced_recorded_triple_identical():
     _, both = run_scenario(trace=True, record=True)
     _, off_again = run_scenario(trace=False)
     assert off == traced == recorded == both == off_again
+
+
+def test_telemetry_off_traced_telemetry_triple_identical():
+    """Same audit for the telemetry plane: the off/traced/telemetry
+    fingerprint triple stays bit-identical, and two telemetry runs
+    dump byte-identical window streams."""
+    _, off = run_scenario(trace=False)
+    first, with_telemetry = run_scenario(trace=False, telemetry=True)
+    _, traced = run_scenario(trace=True)
+    second, again = run_scenario(trace=False, telemetry=True)
+    _, all_three = run_scenario(trace=True, record=True, telemetry=True)
+    assert off == traced == with_telemetry == again == all_three
+    assert first == second
+    assert first  # the stream actually carries window records
 
 
 def test_double_run_journals_byte_identical():

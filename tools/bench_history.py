@@ -60,8 +60,13 @@ def load_history(path=DEFAULT_PATH) -> dict:
 
 
 def append_entry(path=DEFAULT_PATH, events_per_sec=None, figs=None,
-                 sha=None, when=None) -> dict:
-    """Record one run; returns the appended entry."""
+                 p99_ns=None, sha=None, when=None) -> dict:
+    """Record one run; returns the appended entry.
+
+    ``p99_ns`` maps workload name -> p99 request latency in simulated
+    ns (from the telemetry plane, see ``perf_smoke.measure_tails``).
+    Entries without it stay schema-1 compatible and render as "-".
+    """
     history = load_history(path)
     entry = {
         "sha": sha or git_sha(),
@@ -70,6 +75,8 @@ def append_entry(path=DEFAULT_PATH, events_per_sec=None, figs=None,
         "figs": {name: dict(sorted(metrics.items()))
                  for name, metrics in sorted((figs or {}).items())},
     }
+    if p99_ns:
+        entry["p99_ns"] = dict(sorted(p99_ns.items()))
     history["runs"].append(entry)
     Path(path).write_text(
         json.dumps(history, indent=2, sort_keys=True) + "\n")
@@ -86,19 +93,24 @@ def render_history(history: dict, last: int = 0) -> str:
         return "no recorded runs"
     workloads = sorted({name for run in runs
                         for name in run.get("events_per_sec", {})})
+    tail_workloads = sorted({name for run in runs
+                             for name in run.get("p99_ns", {})})
     fig_metrics = sorted({
         f"{fig}.{metric}" for run in runs
         for fig, metrics in run.get("figs", {}).items()
         for metric in metrics
         if isinstance(metrics.get(metric), (int, float))})
     headers = ["sha", "when"] + [f"{w} ev/s" for w in workloads] \
-        + fig_metrics
+        + [f"{w} p99" for w in tail_workloads] + fig_metrics
     rows = []
     for run in runs:
         row = [run.get("sha", "?"), run.get("when", "?")]
         for workload in workloads:
             rate = run.get("events_per_sec", {}).get(workload)
             row.append(f"{rate:,d}" if isinstance(rate, int) else "-")
+        for workload in tail_workloads:
+            tail = run.get("p99_ns", {}).get(workload)
+            row.append(f"{tail:,d}ns" if isinstance(tail, int) else "-")
         for column in fig_metrics:
             fig, _, metric = column.partition(".")
             value = run.get("figs", {}).get(fig, {}).get(metric)
@@ -129,7 +141,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.append:
-        from perf_smoke import ALL_WORKLOADS, run_workload
+        from perf_smoke import ALL_WORKLOADS, measure_tails, run_workload
         rates = {}
         for name in sorted(ALL_WORKLOADS):
             result = run_workload(name, reps=args.reps)
@@ -142,7 +154,11 @@ def main(argv=None) -> int:
                     result["serial_events_per_sec"]
                 line += f" ({result['speedup']:.2f}x over serial)"
             print(line, file=sys.stderr)
-        entry = append_entry(args.history, events_per_sec=rates)
+        tails = measure_tails()
+        for name, tail in sorted(tails.items()):
+            print(f"{name}: p99 {tail:,d}ns", file=sys.stderr)
+        entry = append_entry(args.history, events_per_sec=rates,
+                             p99_ns=tails)
         print(f"recorded {entry['sha']} in {args.history}",
               file=sys.stderr)
 

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""fleet_top: top-style per-bed view of a cluster telemetry stream.
+
+Drives the ``cluster_simspeed`` scenario with the fleet telemetry
+plane attached (or reads a previously exported stream) and renders a
+per-bed table — requests, tail latency, PU utilization, queue peaks,
+hot keys — plus optional SLO burn-rate alerting::
+
+    PYTHONPATH=src python tools/fleet_top.py                    # table
+    PYTHONPATH=src python tools/fleet_top.py --jsonl out.jsonl  # raw stream
+    PYTHONPATH=src python tools/fleet_top.py --json -           # summary
+    PYTHONPATH=src python tools/fleet_top.py \\
+        --slo ci/cluster_slo.json --fail-on-burn                # CI gate
+    PYTHONPATH=src python tools/fleet_top.py --input run.jsonl  # offline
+
+The stream is deterministic — byte-identical between sharded and
+serial drives of the same scenario (``--serial`` to check) — so every
+export is diffable run to run.
+
+Exit codes: 0 ok; 1 SLO burn alert fired under ``--fail-on-burn``;
+2 scenario/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+for path in (str(SRC), str(REPO_ROOT / "tools")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+def load_records(path: str):
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def run_cluster(args):
+    from repro.bench.cluster import build_cluster
+
+    # telemetry_path="" suppresses the REPRO_TELEMETRY env fallback —
+    # this tool attaches its own fleet with the requested window.
+    scenario = build_cluster(num_beds=args.beds,
+                             clients_per_bed=args.clients,
+                             requests_per_client=args.requests,
+                             telemetry_path="")
+    fleet = scenario.attach_telemetry(window_ns=args.window)
+    fingerprint, measures = scenario.run(serial=args.serial)
+    return fleet.records, fingerprint, measures
+
+
+def render_fleet(records, window_ns) -> str:
+    from repro.bench import render_table
+    from repro.obs.telemetry import summarize_records
+
+    summaries = summarize_records(records)
+    headers = ["bed", "req", "req/us", "p50", "p99", "p999", "util%",
+               "sq^", "cq^", "wrs", "dma KB", "hot key"]
+    rows = []
+    for bed in sorted(summaries):
+        s = summaries[bed]
+        span_ns = (s["last_window"] - s["first_window"] + 1) * window_ns
+        rate = s["requests"] / span_ns * 1000 if span_ns else 0.0
+        latency = s["latency"] or {}
+        hot = next(iter(s["keys"].items()), None)
+        rows.append([
+            bed, str(s["requests"]), f"{rate:.2f}",
+            str(latency.get("p50", "-")), str(latency.get("p99", "-")),
+            str(latency.get("p999", "-")),
+            f"{s['util'] * 100:.1f}",
+            str(s["sq_depth_max"]), str(s["cq_depth_max"]),
+            str(s["wrs"]), f"{s['dma_bytes'] / 1024:.0f}",
+            f"{hot[0]}x{hot[1]}" if hot else "-",
+        ])
+    windows = 1 + max(r["window"] for r in records) \
+        - min(r["window"] for r in records)
+    return render_table(
+        headers, rows,
+        title=f"fleet_top — {len(summaries)} beds, {windows} windows "
+              f"x {window_ns}ns")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--input", metavar="FILE.jsonl",
+                        help="render an existing telemetry stream "
+                             "instead of running the cluster")
+    parser.add_argument("--beds", type=int, default=16,
+                        help="cluster beds (default 16)")
+    parser.add_argument("--clients", type=int, default=1,
+                        help="clients per bed (default 1)")
+    parser.add_argument("--requests", type=int, default=40,
+                        help="requests per client (default 40)")
+    parser.add_argument("--serial", action="store_true",
+                        help="drive the serial merge instead of the "
+                             "sharded synchronizer (identical stream)")
+    parser.add_argument("--window", type=int, metavar="NS",
+                        help="telemetry window width in simulated ns")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the per-bed summary as JSON "
+                             "('-' for stdout)")
+    parser.add_argument("--jsonl", metavar="FILE",
+                        help="write the raw window record stream as "
+                             "JSONL ('-' for stdout)")
+    parser.add_argument("--slo", metavar="RULES.json",
+                        help="evaluate SLO burn-rate rules over the "
+                             "stream")
+    parser.add_argument("--fail-on-burn", action="store_true",
+                        help="exit 1 if any SLO burn alert fires")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the table (exports/alerts only)")
+    args = parser.parse_args(argv)
+
+    from repro.obs.telemetry import (DEFAULT_WINDOW_NS, evaluate_slo,
+                                     load_slo_rules, summarize_records)
+
+    if args.input:
+        if args.window:
+            parser.error("--window only applies when running the "
+                         "cluster, not with --input")
+        try:
+            records = load_records(args.input)
+        except (OSError, ValueError) as exc:
+            print(f"fleet_top: cannot read {args.input}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not records:
+            print(f"fleet_top: {args.input} holds no telemetry records",
+                  file=sys.stderr)
+            return 2
+        window_ns = records[0]["end_ns"] - records[0]["start_ns"]
+    else:
+        args.window = args.window or DEFAULT_WINDOW_NS
+        try:
+            records, fingerprint, measures = run_cluster(args)
+        except Exception as exc:  # scenario misconfiguration
+            print(f"fleet_top: cluster run failed: {exc}",
+                  file=sys.stderr)
+            return 2
+        window_ns = args.window
+        if not args.quiet:
+            print(f"cluster: {fingerprint['requests']} requests, "
+                  f"frontier {fingerprint['frontier_ns']}ns, "
+                  f"{measures['rounds']} rounds "
+                  f"({'serial' if args.serial else 'sharded'})",
+                  file=sys.stderr)
+
+    if args.jsonl:
+        text = "".join(json.dumps(record, sort_keys=True) + "\n"
+                       for record in records)
+        if args.jsonl == "-":
+            sys.stdout.write(text)
+        else:
+            Path(args.jsonl).write_text(text)
+            print(f"wrote {len(records)} records to {args.jsonl}",
+                  file=sys.stderr)
+    if args.json:
+        summaries = summarize_records(records)
+        text = json.dumps({"window_ns": window_ns,
+                           "beds": {bed: summaries[bed]
+                                    for bed in sorted(summaries)}},
+                          indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            Path(args.json).write_text(text)
+
+    if not args.quiet:
+        print(render_fleet(records, window_ns))
+
+    if args.slo:
+        try:
+            rules = load_slo_rules(args.slo)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"fleet_top: bad SLO rules {args.slo}: {exc}",
+                  file=sys.stderr)
+            return 2
+        alerts = evaluate_slo(records, rules)
+        for alert in alerts:
+            print(alert.describe())
+        if not alerts:
+            print(f"SLO: {len(rules)} rule(s) clean over "
+                  f"{len(records)} records")
+        if alerts and args.fail_on_burn:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

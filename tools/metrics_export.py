@@ -42,7 +42,19 @@ def main(argv=None) -> int:
                         help="offload calls to issue (default 4)")
     parser.add_argument("-o", "--output", metavar="FILE",
                         help="write to FILE instead of stdout")
+    parser.add_argument("--label", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="constant label added to every sample "
+                             "(repeatable; e.g. --label bed=server-0 "
+                             "keeps multi-bed exports from colliding)")
     args = parser.parse_args(argv)
+
+    labels = {}
+    for item in args.label:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            parser.error(f"--label wants KEY=VALUE, got {item!r}")
+        labels[key] = value
 
     from repro.obs import profile_tracer
 
@@ -53,7 +65,7 @@ def main(argv=None) -> int:
         instrument=lambda bed, label: Tracer(bed.sim, name=label))
     registry = run["bed"].sim.metrics
     profile_tracer(run["instrument"]).record_metrics(registry)
-    text = registry.to_openmetrics()
+    text = registry.to_openmetrics(labels=labels or None)
     if args.output:
         Path(args.output).write_text(text)
         print(f"wrote {len(text.splitlines())} lines to {args.output}",

@@ -292,6 +292,44 @@ def run_workload(name: str, reps: int = 3):
     }
 
 
+def measure_tails() -> dict:
+    """Per-workload p99 request latency (ns) via the telemetry plane.
+
+    One untimed drive per workload with a telemetry collector attached
+    (never mixed into the perf-timed reps — the obs flag is zero-cost
+    only when off). ``table3_flood`` has no request concept and is
+    omitted; ``bench_history`` renders missing tails as "-".
+    """
+    from repro.bench.cluster import build_cluster
+    from repro.obs.metrics import Histogram
+    from repro.obs.telemetry import FleetTelemetry
+
+    tails = {}
+
+    sim, run = _build_fig13()
+    fleet = FleetTelemetry()
+    fleet.attach(sim, bed="fig13")
+    try:
+        run()
+        fleet.finalize()
+    finally:
+        fleet.close()
+    hist = sim.metrics.histogram("telemetry.request_ns")
+    if hist.count:
+        tails["fig13_list_traversal"] = hist.quantile(0.99)
+
+    scenario = build_cluster(telemetry_path="")
+    fleet = scenario.attach_telemetry()
+    scenario.run()
+    merged = Histogram()
+    for record in fleet.records:
+        if record["latency"]:
+            merged.merge(Histogram.from_snapshot(record["latency"]))
+    if merged.count:
+        tails[CLUSTER_WORKLOAD] = merged.quantile(0.99)
+    return tails
+
+
 def profile_workloads(top: int = 25) -> str:
     """Run every workload once under cProfile; return a text report.
 
