@@ -23,14 +23,15 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
 
 from _common import print_comparison, run_once
 
-from perf_smoke import CLUSTER_SPEEDUP_FLOOR, run_cluster_workload
+from perf_smoke import (CLUSTER_SPEEDUP_FLOOR, CLUSTER_WORKLOAD,
+                        run_speedup_workload)
 
 pytestmark = pytest.mark.bench
 
 
 def bench_cluster_simspeed(benchmark):
     def scenario():
-        measured = run_cluster_workload(reps=3)
+        measured = run_speedup_workload(CLUSTER_WORKLOAD, reps=3)
         return {
             "events": measured["events"],
             "events_per_sec": measured["events_per_sec"],
@@ -48,7 +49,7 @@ def bench_cluster_simspeed(benchmark):
           result["events"], f"{result['speedup']:.2f}x"),
          ("serial merge", f"{result['serial_events_per_sec']:,d}",
           result["events"], "1.00x")])
-    # run_cluster_workload has already asserted bit-identity between the
+    # run_speedup_workload has already asserted bit-identity between the
     # sharded and serial drives; here we hold the perf claim itself.
     assert result["events_per_sec"] > 0
     assert result["speedup"] >= CLUSTER_SPEEDUP_FLOOR

@@ -1,0 +1,58 @@
+"""Sharded KV fleet simulator speed: the ``fleet_simspeed`` workload.
+
+Like ``bench_cluster_simspeed``, this measures the simulator itself
+(host-CPU events/second), not the simulated system. The scenario is 8
+cuckoo-KV shards serving 1024 pooled logical client connections —
+consistent-hash request routing, shared CQs with cookie demux, batched
+doorbells — driven once by the conservative sharded synchronizer and
+once by the one-timestamp-window serial merge. The two drives must be
+bit-identical, and the sharded drive must keep a real speedup even
+under the fleet's zipfian hot-shard imbalance.
+
+Marked ``bench`` so the wall-clock-sensitive run can be split from the
+deterministic tier-1 suite: ``pytest -m "not bench"`` skips it.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from _common import print_comparison, run_once
+
+from perf_smoke import (FLEET_SPEEDUP_FLOOR, FLEET_WORKLOAD,
+                        run_speedup_workload)
+
+pytestmark = pytest.mark.bench
+
+
+def bench_fleet_simspeed(benchmark):
+    def scenario():
+        measured = run_speedup_workload(FLEET_WORKLOAD, reps=3)
+        return {
+            "events": measured["events"],
+            "events_per_sec": measured["events_per_sec"],
+            "serial_events_per_sec": measured["serial_events_per_sec"],
+            "speedup": measured["speedup"],
+            "aggregate_mops": measured["aggregate_mops"],
+            "requests": measured["fingerprint"]["requests"],
+            "doorbell_rings": measured["fingerprint"]["doorbell_rings"],
+        }
+
+    result = run_once(benchmark, scenario)
+    print_comparison(
+        "Sharded KV fleet — kernel events per CPU-second",
+        ["drive", "events/s", "events", "speedup", "Mops"],
+        [("sharded", f"{result['events_per_sec']:,d}",
+          result["events"], f"{result['speedup']:.2f}x",
+          f"{result['aggregate_mops']:.3f}"),
+         ("serial merge", f"{result['serial_events_per_sec']:,d}",
+          result["events"], "1.00x",
+          f"{result['aggregate_mops']:.3f}")])
+    # run_speedup_workload has already asserted bit-identity between the
+    # sharded and serial drives; here we hold the perf claim itself.
+    assert result["events_per_sec"] > 0
+    assert result["speedup"] >= FLEET_SPEEDUP_FLOOR

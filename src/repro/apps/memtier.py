@@ -74,12 +74,21 @@ class ClosedLoopClient:
         return self.operations
 
     def run_until(self, deadline_ns: int) -> Generator:
-        """Issue operations until simulated time passes the deadline."""
+        """Issue operations until simulated time reaches the deadline.
+
+        No new operation starts at or past ``deadline_ns``, and the
+        final think sleep is clamped **at** the deadline — the
+        generator returns at ``max(deadline_ns, last op completion)``,
+        never a full think time later. An operation already in flight
+        when the deadline passes still completes (closed-loop clients
+        cannot preempt an issued verb), which is the only remaining
+        overshoot.
+        """
         while self.sim.now < deadline_ns:
-            yield from self.step()
+            yield from self.step(deadline_ns=deadline_ns)
         return self.operations
 
-    def step(self) -> Generator:
+    def step(self, deadline_ns: Optional[int] = None) -> Generator:
         key = self._next_key()
         start = self.sim.now
         if self.mix.next_is_get() or self.set_fn is None:
@@ -94,7 +103,11 @@ class ClosedLoopClient:
         if ok is False:
             self.failures += 1
         if self.think_time_ns:
-            yield self.sim.timeout(self.think_time_ns)
+            think = self.think_time_ns
+            if deadline_ns is not None:
+                think = min(think, max(0, deadline_ns - self.sim.now))
+            if think:
+                yield self.sim.timeout(think)
 
 
 def populate(store, keys: Sequence[int], value_size: int) -> None:

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .. import obs as _obs
 from ..ibv import wr_cas, wr_write
+from ..net.conn import QpPool
 from ..sim.sharded import Shard, ShardChannel, ShardedSimulation
 from .testbed import Testbed
 
@@ -57,10 +58,19 @@ _SKEW_TABLE = ("k0", "k0", "k0", "k0", "k0", "k1", "k1", "k1",
 
 
 class _BedRig:
-    """One bed's RDMA plumbing, shared by its frontend process."""
+    """One bed's RDMA plumbing, shared by its frontend process.
 
-    __slots__ = ("bed", "shard", "qp", "cq", "src_addr", "sink_addr",
-                 "rkey")
+    The client side goes through the connection plane
+    (:class:`repro.net.conn.QpPool`) rather than a hand-wired QP: the
+    frontend holds a single long-lived lease on a capacity-1 pool.
+    Generation-0 cookie stamps are the identity on ``wr_id`` and the
+    pool's shared-CQ router adds no events, so this is byte- and
+    timing-identical to the pre-pool wiring — the ``cluster_simspeed``
+    fingerprint gate holds that claim.
+    """
+
+    __slots__ = ("bed", "shard", "pool", "lease", "qp", "cq", "src_addr",
+                 "sink_addr", "rkey")
 
     def __init__(self, bed: Testbed, shard: Shard):
         self.bed = bed
@@ -70,10 +80,13 @@ class _BedRig:
         sink = proc.alloc(4096, label="sink")
         sink_mr = pd.register(sink)
         server_qp = proc.create_qp(pd, name=f"{shard.name}-s")
-        self.qp = bed.clients[0].nic.create_qp(
-            bed.client_pd(0), send_slots=64, name=f"{shard.name}-c")
-        server_qp.connect(self.qp)
-        self.cq = self.qp.send_wq.cq
+        self.pool = QpPool(
+            bed.clients[0].nic, bed.client_pd(0), capacity=1,
+            connect=lambda qp, _index: server_qp.connect(qp),
+            send_slots=64, name=f"{shard.name}-c")
+        self.lease = self.pool.lease(tag=f"{shard.name}-frontend")
+        self.qp = self.lease.qp
+        self.cq = self.pool.send_cq
         self.src_addr = bed.clients[0].memory.alloc(
             64, owner="client").addr
         self.sink_addr = sink.addr
@@ -83,10 +96,11 @@ class _BedRig:
         """The per-RPC local RDMA work: WRITE burst + signaled CAS."""
         base = self.cq.count
         for _ in range(WRITES_PER_REQUEST):
-            self.qp.post_send(wr_write(self.src_addr, 64, self.sink_addr,
-                                       self.rkey, signaled=False))
-        self.qp.post_send(wr_cas(self.sink_addr, self.rkey, 0, 1,
-                                 signaled=True))
+            self.lease.post_send(
+                wr_write(self.src_addr, 64, self.sink_addr,
+                         self.rkey, signaled=False))
+        self.lease.post_send(wr_cas(self.sink_addr, self.rkey, 0, 1,
+                                    signaled=True))
         return self.cq.wait_for_count(base + 1)
 
 

@@ -1,0 +1,446 @@
+"""Sharded KV fleet serving thousands of pooled client connections.
+
+The ROADMAP item-1 scenario, mounted on the connection plane
+(:mod:`repro.net.conn`) and the sharded simulator core:
+
+* ``N`` shards, each a full server + gateway host pair
+  (:class:`Testbed`) on its own :class:`ShardedSimulation` shard. The
+  server hosts a cuckoo-hash :class:`MemcachedServer` holding the keys
+  a :class:`HashRing` assigns to that shard.
+* Thousands of closed-loop Memtier-style logical client connections
+  (``clients_per_shard`` per shard) draw keys from a zipfian hot-key
+  table. A key owned by the client's home shard is served locally; any
+  other key is forwarded over the inter-shard fabric to the owner's
+  gateway (consistent-hash request routing).
+* All RDMA data-path work goes through a per-shard :class:`QpPool`
+  (``pool_qps`` QPs leased per request, LRU-recycled) whose QPs
+  complete into **one shared CQ pair** demuxed by the pool's
+  :class:`CompletionRouter` — O(1) CQs per host, not O(clients).
+* A *get* fetches **both** cuckoo candidate buckets with one-sided
+  READs — posted through a :class:`DoorbellBatcher` when
+  ``batch_doorbells`` is on, so the two READs cost **one** ring write
+  — then READs the value out of the slab. The shard's hottest owned
+  key is instead served by the paper's Fig 9 NIC offload
+  (:class:`HashGetOffload`), one offload program per shard.
+* Like the cluster scenario, the same built fleet runs under the
+  conservative sharded synchronizer or the serial merge, and both
+  drives must be bit-identical; this is the ``fleet_simspeed``
+  workload in ``tools/perf_smoke.py``.
+
+Every stochastic-looking choice (zipf draw, start skew, think dither)
+is a pure integer function of ``(shard, client, seq)``, so the
+schedule — and the fingerprint — is deterministic and drive-mode
+independent. Doorbell batching on/off are *both* deterministic; they
+differ in timing and ring-write counts (that is the point), which the
+fingerprint records via ``doorbell_rings``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs as _obs
+from ..apps.memcached import MemcachedServer
+from ..datastructs.hashing import splitmix64
+from ..datastructs.records import BUCKET_SIZE
+from ..ibv import wr_read
+from ..net.conn import HashRing, QpPool
+from ..nic.queue import DoorbellBatcher
+from ..offloads.hash_lookup import hash_get_payload
+from ..redn.offload import OffloadClient
+from ..sim.resources import Resource
+from ..sim.sharded import Shard, ShardChannel, ShardedSimulation
+from .stats import percentile
+from .testbed import Testbed
+
+__all__ = ["FLEET_LINK_NS", "FleetScenario", "build_fleet"]
+
+#: One-way inter-shard link latency (= the synchronizer lookahead).
+FLEET_LINK_NS = 1000
+
+#: Client think time between a reply and the next request.
+THINK_NS = 1500
+
+#: Global key universe; ownership is consistent-hashed over the shards.
+NUM_KEYS = 128
+
+VALUE_SIZE = 64
+
+_SHARD_MEMORY = 8 * 1024 * 1024
+_GATEWAY_MEMORY = 4 * 1024 * 1024
+
+
+def _zipf_table(num_keys: int = NUM_KEYS, head: int = 64) -> Tuple[int, ...]:
+    """A zipf-ish draw table: key ``k`` appears ~``head/k`` times.
+
+    Integer-only construction (no float powers), so the table — and
+    every key draw — is bit-stable across platforms. Keys are 1-based
+    (0 is not a legal cuckoo key); key 1 is the global hottest and
+    mass decays harmonically down the key ids.
+    """
+    table: List[int] = []
+    for key in range(1, num_keys + 1):
+        table.extend([key] * max(1, head // key))
+    return tuple(table)
+
+
+_ZIPF = _zipf_table()
+
+
+def _pick_key(shard: int, client: int, seq: int) -> int:
+    """The zipfian key stream: pure function of (shard, client, seq)."""
+    mix = splitmix64(shard * 1_000_003 + client * 10_007 + seq * 101)
+    return _ZIPF[mix % len(_ZIPF)]
+
+
+class _ShardRig:
+    """One shard: cuckoo-KV server + gateway host with the conn plane."""
+
+    def __init__(self, bed: Testbed, shard: Shard, owned_keys: List[int],
+                 pool_qps: int, batch_doorbells: bool):
+        self.bed = bed
+        self.shard = shard
+        self.index = shard.index
+        self.sim = bed.sim
+        self.owned_keys = owned_keys
+        self.executed = 0            # requests served by this shard
+        self.doorbell_rings = 0      # data-path ring writes (host count)
+        self.latencies: List[int] = []
+
+        self.server = MemcachedServer(
+            bed.server, num_buckets=512, slab_size=1024 * 1024,
+            name=f"{shard.name}-kv")
+        for key in owned_keys:
+            self.server.set(key, bytes([key & 0xFF]) * VALUE_SIZE)
+
+        # The connection plane: pooled QPs from the gateway host to the
+        # server, all completing into one shared CQ pair.
+        def connect(qp, index):
+            server_qp = self.server.process.create_qp(
+                self.server.pd, name=f"{shard.name}-ps{index}")
+            server_qp.connect(qp)
+
+        self.pool = QpPool(bed.clients[0].nic, bed.client_pd(0),
+                           capacity=pool_qps, connect=connect,
+                           send_slots=64, recv_slots=16,
+                           name=f"{shard.name}-pool")
+        self.batchers: Optional[List[DoorbellBatcher]] = None
+        if batch_doorbells:
+            self.batchers = [DoorbellBatcher(qp.send_wq, max_batch=8)
+                             for qp in self.pool.qps]
+        # Per-lease scratch slices: concurrent gets on different leases
+        # must not land their READs in the same client memory.
+        self._scratch = bed.clients[0].memory.alloc(
+            256 * pool_qps, owner="client", label=f"{shard.name}-scratch")
+        self.table_rkey = self.server.table_mr.rkey
+        self.slab_rkey = self.server.slab_mr.rkey
+
+        # The shard's hottest owned key is NIC-served (Fig 9 offload);
+        # calls serialize on one offload lane per shard.
+        self.hot_key: Optional[int] = min(owned_keys) if owned_keys else None
+        self.offload = None
+        if self.hot_key is not None:
+            self.offload, conn = self.server.attach_get_offload(
+                bed.clients[0].nic, bed.client_pd(0), max_instances=8,
+                name=f"{shard.name}-off")
+            self.offload_client = OffloadClient(conn, bed.client_verbs(0))
+            self.offload_lock = Resource(self.sim, 1,
+                                         name=f"{shard.name}-offlock")
+
+    # -- the per-request data path ----------------------------------------
+
+    def execute_get(self, key: int):
+        """Serve one get on this shard; returns the path label."""
+        if self.offload is not None and key == self.hot_key:
+            grant = yield self.offload_lock.acquire()
+            try:
+                self.offload.post_instances(1)
+                result = yield from self.offload_client.call(
+                    hash_get_payload(self.server.table, key),
+                    timeout_ns=10_000_000)
+                assert result.ok, f"offload miss for hot key {key}"
+                assert result.data[:1] == bytes([key & 0xFF])
+            finally:
+                self.offload_lock.release(grant)
+            self.executed += 1
+            return "offload"
+        lease = yield from self.pool.acquire(tag=f"k{key}")
+        try:
+            yield from self._pooled_get(lease, key)
+        finally:
+            self.pool.release(lease)
+        self.executed += 1
+        return "pooled"
+
+    def _pooled_get(self, lease, key: int):
+        """Two-phase one-sided get over a pooled QP.
+
+        Phase 1 READs *both* cuckoo candidate buckets (the classic
+        parallel-probe optimization); with batching on, the two READs
+        ride one coalesced doorbell. Phase 2 READs the value from the
+        slab. WR order on one QP guarantees the unsignaled first READ
+        landed before the signaled second one completes.
+        """
+        table = self.server.table
+        addrs = table.candidate_addrs(key)
+        scratch = self._scratch.addr + 256 * lease.index
+        bucket0 = wr_read(scratch, BUCKET_SIZE, addrs[0],
+                          self.table_rkey, signaled=False)
+        bucket1 = wr_read(scratch + 64, BUCKET_SIZE, addrs[1],
+                          self.table_rkey, wr_id=1, signaled=True)
+        if self.batchers is not None:
+            batcher = self.batchers[lease.index]
+            lease.post_send(bucket0, batcher=batcher)
+            lease.post_send(bucket1, batcher=batcher)
+            batcher.flush()
+            self.doorbell_rings += 1
+        else:
+            lease.post_send(bucket0)
+            lease.post_send(bucket1)
+            self.doorbell_rings += 2
+        cqe = yield from lease.wait_cqe()
+        assert cqe.ok and cqe.wr_id == 1
+        # Parse the fetched buckets for the value pointer (the host
+        # consults the same table the READ just snapshotted).
+        found = table.lookup_ptr(key)
+        assert found is not None, f"key {key} missing from shard {self.index}"
+        valptr, vlen = found
+        lease.post_send(wr_read(scratch + 128, min(vlen, 64), valptr,
+                                self.slab_rkey, wr_id=2, signaled=True))
+        self.doorbell_rings += 1
+        cqe = yield from lease.wait_cqe()
+        assert cqe.ok and cqe.wr_id == 2
+        value = self.bed.clients[0].memory.read(scratch + 128, 1)
+        assert value == bytes([key & 0xFF]), \
+            f"value mismatch for key {key}: {value!r}"
+
+
+def _gateway(rig: _ShardRig, reply_to: Dict[int, ShardChannel]):
+    """One remote-exec worker: serve forwarded gets forever."""
+    rpc = rig.shard.mailbox("rpc")
+    sim = rig.sim
+    while True:
+        src_index, gid, seq, key = yield rpc.get()
+        yield from rig.execute_get(key)
+        if _obs.enabled:
+            telemetry = sim.telemetry
+            if telemetry is not None:
+                telemetry.serviced()
+        reply_to[src_index].send(f"rsp{gid}", seq)
+
+
+def _client(rig: _ShardRig, ring: HashRing, rigs: List[_ShardRig],
+            forward: Dict[int, ShardChannel], gid: int, cid: int,
+            requests: int, start_skew: int):
+    """One closed-loop logical connection on its home shard's gateway.
+
+    Local keys run the pooled data path in-place; remote keys are
+    forwarded to the owner shard's gateway and awaited. Note ``rigs``
+    is only indexed for *local* execution — cross-shard interaction
+    happens exclusively through the channels, as the synchronizer
+    requires.
+    """
+    sim = rig.sim
+    rsp = rig.shard.mailbox(f"rsp{gid}")
+    if start_skew:
+        yield start_skew
+    latency_sum = 0
+    remote_ops = 0
+    dither_base = rig.index * 13 + cid * 7
+    for seq in range(requests):
+        key = _pick_key(rig.index, cid, seq)
+        owner = ring.owner(key)
+        start = sim.now
+        if owner == rig.index:
+            yield from rig.execute_get(key)
+        else:
+            forward[owner].send("rpc", (rig.index, gid, seq, key))
+            reply = yield rsp.get()
+            assert reply == seq, f"out-of-order reply {reply} != {seq}"
+            remote_ops += 1
+        latency = sim.now - start
+        latency_sum += latency
+        rigs[owner].latencies.append(latency)
+        if _obs.enabled:
+            telemetry = sim.telemetry
+            if telemetry is not None:
+                telemetry.request_complete(latency, key=f"k{key}")
+        yield THINK_NS + (dither_base + seq * 31) % 97
+    # sim.now here, not the drained-queue frontier: a dangling offload
+    # timeout event otherwise inflates the denominator of Mops.
+    return latency_sum, remote_ops, sim.now
+
+
+class FleetScenario:
+    """A built fleet, runnable exactly once (sharded or serial)."""
+
+    def __init__(self, num_shards: int, clients_per_shard: int,
+                 requests_per_client: int, pool_qps: int,
+                 batch_doorbells: bool, gateway_workers: int,
+                 link_ns: int):
+        self.num_shards = num_shards
+        self.clients_per_shard = clients_per_shard
+        self.requests_per_client = requests_per_client
+        self.pool_qps = pool_qps
+        self.batch_doorbells = batch_doorbells
+        self.gateway_workers = gateway_workers
+        self.ring = HashRing(num_shards)
+        owned = self.ring.partition(range(1, NUM_KEYS + 1))
+        self.sharded = ShardedSimulation()
+        self.rigs: List[_ShardRig] = []
+        for index in range(num_shards):
+            shard = self.sharded.add_shard(f"shard{index}")
+            bed = Testbed(num_clients=1, sim=shard.sim,
+                          server_memory=_SHARD_MEMORY,
+                          client_memory=_GATEWAY_MEMORY)
+            self.rigs.append(_ShardRig(bed, shard, owned[index],
+                                       pool_qps, batch_doorbells))
+        # Full mesh: requests to any owner, replies straight back.
+        self._forward: List[Dict[int, ShardChannel]] = [
+            {} for _ in range(num_shards)]
+        for a in range(num_shards):
+            for b in range(a + 1, num_shards):
+                fwd, back = self.sharded.link(
+                    self.sharded.shards[a], self.sharded.shards[b],
+                    one_way_ns=link_ns)
+                self._forward[a][b] = fwd
+                self._forward[b][a] = back
+        self._ran = False
+        self._telemetry = None
+        self._telemetry_path: Optional[str] = None
+
+    @property
+    def logical_connections(self) -> int:
+        return self.num_shards * self.clients_per_shard
+
+    def attach_telemetry(self, window_ns: Optional[int] = None,
+                         sink=None, path: Optional[str] = None):
+        """Attach per-shard telemetry (see ClusterScenario for the shape)."""
+        from ..obs.telemetry import DEFAULT_WINDOW_NS, FleetTelemetry
+        if self._telemetry is not None:
+            raise RuntimeError("telemetry already attached")
+        fleet = FleetTelemetry(
+            window_ns=window_ns or DEFAULT_WINDOW_NS, sink=sink)
+        for rig in self.rigs:
+            fleet.attach(rig.sim, bed=rig.shard.name,
+                         shard=rig.shard.index)
+        self.sharded.telemetry = fleet
+        self._telemetry = fleet
+        self._telemetry_path = path
+        return fleet
+
+    def events_executed(self) -> List[int]:
+        """Per-shard kernel event counts — identity surface."""
+        return [rig.sim.metrics.snapshot()["gauges"]
+                ["sim.events_executed"] for rig in self.rigs]
+
+    def run(self, serial: bool = False,
+            until: Optional[int] = None) -> Tuple[dict, dict]:
+        """Execute; returns ``(fingerprint, measures)``.
+
+        The fingerprint is a pure function of the simulated system —
+        identical for sharded and serial drives (and that identity is
+        asserted by the ``fleet_simspeed`` workload every run).
+        ``measures`` carries driver observables and derived reporting
+        (aggregate Mops, per-shard isolation).
+        """
+        if self._ran:
+            raise RuntimeError("a FleetScenario runs exactly once; "
+                               "build a fresh one per drive")
+        self._ran = True
+        client_procs = []
+        for index, rig in enumerate(self.rigs):
+            reply_to = self._forward[index]
+            for worker in range(self.gateway_workers):
+                rig.sim.process(_gateway(rig, reply_to),
+                                name=f"{rig.shard.name}-gw{worker}")
+            for cid in range(self.clients_per_shard):
+                gid = index * self.clients_per_shard + cid
+                client_procs.append(rig.sim.process(
+                    _client(rig, self.ring, self.rigs,
+                            self._forward[index], gid, cid,
+                            self.requests_per_client,
+                            start_skew=index * 157 + cid * 61),
+                    name=f"{rig.shard.name}-client{cid}"))
+        if serial:
+            self.sharded.run_serial(until=until)
+        else:
+            self.sharded.run(until=until)
+        failures = self.sharded.failed_processes()
+        if failures:
+            raise AssertionError(f"fleet processes failed: {failures}")
+        unfinished = [p for p in client_procs if not p.triggered]
+        if unfinished:
+            raise AssertionError(f"clients never finished: {unfinished}")
+
+        requests = self.logical_connections * self.requests_per_client
+        latency_sum = sum(p.value[0] for p in client_procs)
+        remote_ops = sum(p.value[1] for p in client_procs)
+        offload_ops = sum(
+            rig.offload.instances_posted for rig in self.rigs
+            if rig.offload is not None)
+        pool_stats: Dict[str, int] = {}
+        for rig in self.rigs:
+            for stat, value in rig.pool.stats().items():
+                pool_stats[stat] = pool_stats.get(stat, 0) + value
+        all_latencies = sorted(
+            lat for rig in self.rigs for lat in rig.latencies)
+        frontier = max(p.value[2] for p in client_procs)
+        fingerprint = {
+            "requests": requests,
+            "latency_sum_ns": latency_sum,
+            "frontier_ns": frontier,
+            "per_shard_events": self.events_executed(),
+            "remote_ops": remote_ops,
+            "offload_ops": offload_ops,
+            "doorbell_rings": sum(r.doorbell_rings for r in self.rigs),
+            "pool": pool_stats,
+            "p99_ns": percentile(all_latencies, 0.99),
+            "p999_ns": percentile(all_latencies, 0.999),
+        }
+        measures = {
+            "rounds": self.sharded.rounds,
+            "messages": self.sharded.fabric.messages_sent,
+            "aggregate_mops": round(requests / frontier * 1000, 4)
+            if frontier else 0.0,
+            "per_shard": [
+                {"shard": rig.shard.name,
+                 "executed": rig.executed,
+                 "keys_owned": len(rig.owned_keys),
+                 "hot_key": rig.hot_key,
+                 "p99_ns": percentile(rig.latencies, 0.99)
+                 if rig.latencies else None}
+                for rig in self.rigs],
+        }
+        if self._telemetry is not None:
+            records = self._telemetry.finalize()
+            self._telemetry.close()
+            measures["telemetry_records"] = len(records)
+            if self._telemetry_path:
+                with open(self._telemetry_path, "w") as handle:
+                    handle.write(self._telemetry.to_jsonl())
+        return fingerprint, measures
+
+
+def build_fleet(num_shards: int = 8, clients_per_shard: int = 128,
+                requests_per_client: int = 3, pool_qps: int = 8,
+                batch_doorbells: bool = True, gateway_workers: int = 8,
+                link_ns: int = FLEET_LINK_NS,
+                telemetry_path: Optional[str] = None) -> FleetScenario:
+    """The canonical ``fleet_simspeed`` configuration.
+
+    Defaults drive 1024 logical client connections (8 shards x 128)
+    over 64 pooled QPs and 16 shared CQs total, with doorbell batching
+    on. ``telemetry_path`` (default: the ``REPRO_TELEMETRY``
+    environment variable) attaches the telemetry fleet and writes the
+    merged JSONL stream there after the run.
+    """
+    scenario = FleetScenario(num_shards, clients_per_shard,
+                             requests_per_client, pool_qps,
+                             batch_doorbells, gateway_workers, link_ns)
+    if telemetry_path is None:
+        telemetry_path = os.environ.get("REPRO_TELEMETRY") or None
+    if telemetry_path:
+        scenario.attach_telemetry(path=telemetry_path)
+    return scenario

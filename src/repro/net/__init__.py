@@ -1,5 +1,13 @@
 """Hosts, CPU scheduling, network fabric, and failure injection."""
 
+from .conn import (
+    CompletionRouter,
+    ConnError,
+    HashRing,
+    PoolExhausted,
+    QpLease,
+    QpPool,
+)
 from .cpu import CpuScheduler
 from .fabric import DEFAULT_ONE_WAY_NS, Fabric, FabricError
 from .failures import (
@@ -13,14 +21,20 @@ from .failures import (
 from .node import Host, OsProcess
 
 __all__ = [
+    "CompletionRouter",
+    "ConnError",
     "CpuScheduler",
     "ComponentReliability",
     "CrashInjector",
     "DEFAULT_ONE_WAY_NS",
     "Fabric",
     "FabricError",
+    "HashRing",
     "Host",
     "OsProcess",
+    "PoolExhausted",
+    "QpLease",
+    "QpPool",
     "RestartPolicy",
     "TABLE6_COMPONENTS",
     "availability_from_mttf",

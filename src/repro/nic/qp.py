@@ -68,12 +68,39 @@ class QueuePair:
 
     def post_send(self, wqe: Wqe,
                   ring_doorbell: Optional[bool] = None) -> int:
-        """Post to the send queue; returns the WR index."""
+        """Post to the send queue; returns the WR index.
+
+        ``ring_doorbell`` resolves against the queue's managed flag —
+        ``None`` is not "no doorbell", it is "the WQ's policy":
+
+        ========================  ==================================
+        ``ring_doorbell``         effect on the send WQ
+        ========================  ==================================
+        ``None`` + normal WQ      doorbell rung (driver default)
+        ``None`` + managed WQ     **no** doorbell — the paper's
+                                  managed flag "disables the driver
+                                  from issuing doorbells after a WR
+                                  is posted" (§5); only an explicit
+                                  doorbell or an ENABLE verb releases
+                                  the WQE
+        ``True``                  doorbell rung regardless
+        ``False``                 suppressed regardless (batched
+                                  posting — see
+                                  :class:`~repro.nic.queue.DoorbellBatcher`)
+        ========================  ==================================
+
+        The same table applies to :meth:`post_recv` on the recv WQ.
+        """
         return self.send_wq.post(wqe, ring_doorbell=ring_doorbell)
 
     def post_recv(self, wqe: Wqe,
                   ring_doorbell: Optional[bool] = None) -> int:
-        """Post to the receive queue; returns the WR index."""
+        """Post to the receive queue; returns the WR index.
+
+        ``ring_doorbell`` follows the :meth:`post_send` table: ``None``
+        falls through to the WQ policy (ring unless managed), ``True``/
+        ``False`` force it.
+        """
         return self.recv_wq.post(wqe, ring_doorbell=ring_doorbell)
 
     def destroy(self) -> None:

@@ -39,7 +39,8 @@ from .wqe import WQE_SLOT_SIZE, Wqe
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .qp import QueuePair
 
-__all__ = ["WorkQueue", "CompletionQueue", "Cqe", "QueueError"]
+__all__ = ["WorkQueue", "CompletionQueue", "Cqe", "DoorbellBatcher",
+           "QueueError"]
 
 
 class QueueError(Exception):
@@ -84,6 +85,12 @@ class CompletionQueue:
         self._entries: Deque[Cqe] = deque()  # host-visible CQEs
         self._watchers: List[Tuple[int, Event]] = []
         self._channel_waiters: Deque[Event] = deque()
+        # Optional host-side demux (repro.net.conn.CompletionRouter):
+        # when attached, host-visible CQEs are handed to the router
+        # instead of the FIFO, so one shared CQ fans out to many
+        # logical connections. None (the default) leaves the delivery
+        # path byte-identical to the unrouted one.
+        self._router = None
         self.destroyed = False
 
     def __repr__(self) -> str:
@@ -128,9 +135,30 @@ class CompletionQueue:
     def _deliver_to_host(self, cqe: Cqe) -> None:
         if self.destroyed:
             return
+        if self._router is not None:
+            self._router.route(cqe, self)
+            return
         self._entries.append(cqe)
         if self._channel_waiters:
             self._channel_waiters.popleft().trigger(None)
+
+    def attach_router(self, router) -> None:
+        """Divert host-visible CQEs to a demux router.
+
+        With a router attached, :meth:`poll`/:meth:`wait_for_event`
+        never see CQEs — the router owns consumption and fans entries
+        out to per-connection inboxes (see
+        :class:`repro.net.conn.CompletionRouter`). WAIT-verb watchers
+        are unaffected: they key on the monotonic ``count``, which
+        bumps before delivery either way. One CQ may only feed one
+        router at a time.
+        """
+        if self._router is not None and self._router is not router:
+            raise QueueError(f"{self!r} already has a router attached")
+        self._router = router
+
+    def detach_router(self) -> None:
+        self._router = None
 
     def wait_for_count(self, threshold: int) -> Event:
         """Event triggering once ``count >= threshold`` (WAIT verb hook)."""
@@ -231,6 +259,9 @@ class WorkQueue:
         # Host doorbells are MMIO writes and take this long to reach
         # the device; set by the adopting RNIC from its timing model.
         self.doorbell_delay_ns: int = 0
+        # Per-entry cost of a coalesced multi-WQE doorbell (also set by
+        # the adopting RNIC); only a DoorbellBatcher flush charges it.
+        self.doorbell_batch_entry_ns: int = 0
 
     def __repr__(self) -> str:
         return (f"<WQ {self.name} {self.kind} posted={self.posted_count} "
@@ -321,11 +352,16 @@ class WorkQueue:
             self.doorbell()
         return wr_index
 
-    def doorbell(self, up_to: Optional[int] = None) -> None:
+    def doorbell(self, up_to: Optional[int] = None,
+                 extra_delay_ns: int = 0) -> None:
         """Host doorbell: raise the fetch limit (default: all posted).
 
         The raise lands after the doorbell MMIO propagation delay —
-        part of every verb's base latency in Fig 7.
+        part of every verb's base latency in Fig 7. ``extra_delay_ns``
+        adds on top of it; a :class:`DoorbellBatcher` uses it to price
+        the per-entry cost of a coalesced multi-WQE ring write
+        (:meth:`repro.nic.timing.TimingModel.doorbell_batch_ns`). The
+        default of 0 keeps the unbatched path timing-identical.
         """
         target = self.posted_count if up_to is None else up_to
         if _obs.enabled:
@@ -338,8 +374,9 @@ class WorkQueue:
             telemetry = self.sim.telemetry
             if telemetry is not None:
                 telemetry.on_doorbell(self)
-        if self.doorbell_delay_ns > 0:
-            self.sim.schedule_at(self.sim.now + self.doorbell_delay_ns,
+        delay = self.doorbell_delay_ns + extra_delay_ns
+        if delay > 0:
+            self.sim.schedule_at(self.sim.now + delay,
                                  self._raise_enabled, target)
         else:
             self._raise_enabled(target)
@@ -488,3 +525,89 @@ class WorkQueue:
         self.destroyed = True
         self._wake()
         self._wake_recv_waiters()
+
+
+class DoorbellBatcher:
+    """Coalesce N posted WQEs into one doorbell ring write.
+
+    On real hardware every doorbell is an MMIO write that crosses the
+    host bridge; drivers amortize it by writing several WQEs and
+    ringing once (the multi-WQE doorbell / BlueFlame idiom, and the
+    ring-buffer controller pattern in blue-rdma). This class is that
+    driver-side accumulator for one :class:`WorkQueue`:
+
+    * :meth:`post` writes the WQE into the ring with the doorbell
+      suppressed (``ring_doorbell=False``) and counts it pending.
+    * A flush rings **one** doorbell covering every pending WQE, priced
+      at ``doorbell_ns + (N-1) * doorbell_batch_entry_ns`` (see
+      :meth:`repro.nic.timing.TimingModel.doorbell_batch_ns`).
+
+    Flush boundaries, any of:
+
+    * **explicit** — the caller invokes :meth:`flush` (e.g. at the end
+      of a request's WR burst);
+    * **batch-size cap** — ``max_batch`` pending WQEs force a flush
+      from inside :meth:`post`;
+    * **simulated-time deadline** — when ``deadline_ns`` is given, the
+      first post of a batch schedules a flush ``deadline_ns`` later, so
+      a lone WQE is never stranded unrung. A flush that happens first
+      invalidates the pending deadline (stale-token discipline); the
+      scheduled callback still fires and no-ops.
+
+    The batcher never reorders: WQEs execute in ring order exactly as
+    posted, and a flush enables everything posted so far. A dormant
+    batcher (never constructed) leaves the post/doorbell path
+    byte- and timing-identical — all batching state lives here, not in
+    the queue.
+    """
+
+    __slots__ = ("wq", "max_batch", "deadline_ns", "pending", "flushes",
+                 "coalesced", "_deadline_token")
+
+    def __init__(self, wq: WorkQueue, max_batch: int = 16,
+                 deadline_ns: Optional[int] = None):
+        if max_batch < 1:
+            raise QueueError("max_batch must be at least 1")
+        if deadline_ns is not None and deadline_ns <= 0:
+            raise QueueError("deadline_ns must be positive when given")
+        self.wq = wq
+        self.max_batch = max_batch
+        self.deadline_ns = deadline_ns
+        self.pending = 0          # WQEs posted but not yet rung
+        self.flushes = 0          # doorbells actually rung
+        self.coalesced = 0        # WQEs covered by those doorbells
+        self._deadline_token: Optional[object] = None
+
+    def __repr__(self) -> str:
+        return (f"<DoorbellBatcher {self.wq.name} pending={self.pending} "
+                f"flushes={self.flushes} coalesced={self.coalesced}>")
+
+    def post(self, wqe: Wqe) -> int:
+        """Post with the doorbell suppressed; returns the WR index."""
+        wr_index = self.wq.post(wqe, ring_doorbell=False)
+        self.pending += 1
+        if self.pending >= self.max_batch:
+            self.flush()
+        elif self.pending == 1 and self.deadline_ns is not None:
+            token = object()
+            self._deadline_token = token
+            self.wq.sim.schedule_at(self.wq.sim.now + self.deadline_ns,
+                                    self._deadline_flush, token)
+        return wr_index
+
+    def _deadline_flush(self, token: object) -> None:
+        if token is self._deadline_token:
+            self.flush()
+
+    def flush(self) -> int:
+        """Ring one doorbell for everything pending; returns the count."""
+        self._deadline_token = None
+        count = self.pending
+        if count == 0:
+            return 0
+        self.pending = 0
+        self.flushes += 1
+        self.coalesced += count
+        self.wq.doorbell(
+            extra_delay_ns=(count - 1) * self.wq.doorbell_batch_entry_ns)
+        return count

@@ -132,6 +132,7 @@ class RNIC:
         wq.pu_index = (self.ports[port_index].assign_pu()
                        if kind == "send" else 0)
         wq.doorbell_delay_ns = self.timing.doorbell_ns
+        wq.doorbell_batch_entry_ns = self.timing.doorbell_batch_entry_ns
         self.wqs[wq.wq_num] = wq
         if _obs.enabled:
             tracer = self.sim.tracer

@@ -57,6 +57,15 @@ class TimingModel:
     # poll-detect time (~100 ns in repro.ibv): their sum is the ~250 ns
     # host-side overhead in Fig 7's decomposition.
     doorbell_ns: int = 150          # MMIO doorbell write reaching the NIC
+    # A batched doorbell (repro.nic.queue.DoorbellBatcher) rings once
+    # for N posted WQEs. The single MMIO write still costs
+    # ``doorbell_ns``; each WQE beyond the first adds the cost of the
+    # device parsing one more producer-index increment out of the
+    # coalesced write (the BlueFlame/multi-WQE doorbell idiom). Batched
+    # and unbatched drives are therefore timing-visibly different —
+    # N*doorbell_ns vs doorbell_ns + (N-1)*entry — while both stay
+    # fingerprint-deterministic.
+    doorbell_batch_entry_ns: int = 12
     wqe_fetch_ns: int = 350         # non-posted DMA read of WQE bytes
     prefetch_batch: int = 32        # WQEs fetched per DMA in normal mode
                                     # (ConnectX prefetch depth is
@@ -129,6 +138,17 @@ class TimingModel:
         if length <= 0:
             return 0
         return int(length / self.pcie_bytes_per_ns)
+
+    def doorbell_batch_ns(self, count: int) -> int:
+        """Latency of one doorbell ring covering ``count`` WQEs.
+
+        ``count <= 1`` degenerates to the plain ``doorbell_ns`` — a
+        batcher flushing a single WQE is byte- and timing-identical to
+        an unbatched post.
+        """
+        if count <= 1:
+            return self.doorbell_ns
+        return self.doorbell_ns + (count - 1) * self.doorbell_batch_entry_ns
 
     def occupancy(self, opcode: int) -> int:
         """PU processing occupancy for a verb."""

@@ -75,6 +75,26 @@ class TestClosedLoopClient:
         sim.run_process(client.run_until(10_500))
         assert 10 <= client.operations <= 11
 
+    def test_run_until_clamps_final_think_at_deadline(self):
+        """The last think sleep must not overshoot the deadline: the
+        generator returns at the deadline, not a full think later."""
+        sim = Simulator()
+        client = self._client(sim, latency_ns=1_000,
+                              think_time_ns=10_000)
+        sim.run_process(client.run_until(5_500))
+        assert client.operations == 1
+        assert sim.now == 5_500      # clamped; was 11_000 pre-clamp
+
+    def test_run_until_overshoot_is_only_the_inflight_op(self):
+        """A deadline passing mid-operation lets the op complete (no
+        preemption) but skips the post-op think entirely."""
+        sim = Simulator()
+        client = self._client(sim, latency_ns=1_000,
+                              think_time_ns=10_000)
+        sim.run_process(client.run_until(500))
+        assert client.operations == 1
+        assert sim.now == 1_000      # op completion, zero think
+
     def test_mix_drives_sets(self):
         sim = Simulator()
         sets = []
@@ -135,3 +155,13 @@ class TestTimingModel:
         # ~92 Gb/s effective (Table 4's single-port 64KB ceiling).
         gbps = CONNECTX5_TIMING.wire_bytes_per_ns * 8
         assert 85 <= gbps <= 100
+
+    def test_doorbell_batch_pricing(self):
+        """A coalesced N-WQE ring write costs one doorbell plus a
+        per-entry increment — strictly cheaper than N doorbells."""
+        t = CONNECTX5_TIMING
+        assert t.doorbell_batch_ns(0) == t.doorbell_ns
+        assert t.doorbell_batch_ns(1) == t.doorbell_ns
+        assert t.doorbell_batch_ns(8) == (
+            t.doorbell_ns + 7 * t.doorbell_batch_entry_ns)
+        assert t.doorbell_batch_ns(8) < 8 * t.doorbell_ns

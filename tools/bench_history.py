@@ -143,22 +143,28 @@ def main(argv=None) -> int:
     if args.append:
         from perf_smoke import ALL_WORKLOADS, measure_tails, run_workload
         rates = {}
+        figs = {}
         for name in sorted(ALL_WORKLOADS):
             result = run_workload(name, reps=args.reps)
             rates[name] = result["events_per_sec"]
             line = f"{name}: {result['events_per_sec']:,d} events/s"
             if "speedup" in result:
-                # The cluster workload also tracks its sharded-vs-serial
+                # Dual-drive workloads also track their sharded-vs-serial
                 # win as a first-class trajectory column.
                 rates[f"{name}_serial"] = \
                     result["serial_events_per_sec"]
                 line += f" ({result['speedup']:.2f}x over serial)"
+            if "aggregate_mops" in result:
+                # The fleet workload's simulated serving throughput —
+                # a fig metric, not a simulator speed.
+                figs[name] = {"aggregate_mops": result["aggregate_mops"]}
+                line += f" | {result['aggregate_mops']:.3f} Mops"
             print(line, file=sys.stderr)
         tails = measure_tails()
         for name, tail in sorted(tails.items()):
             print(f"{name}: p99 {tail:,d}ns", file=sys.stderr)
         entry = append_entry(args.history, events_per_sec=rates,
-                             p99_ns=tails)
+                             figs=figs, p99_ns=tails)
         print(f"recorded {entry['sha']} in {args.history}",
               file=sys.stderr)
 

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """fleet_top: top-style per-bed view of a cluster telemetry stream.
 
-Drives the ``cluster_simspeed`` scenario with the fleet telemetry
-plane attached (or reads a previously exported stream) and renders a
-per-bed table — requests, tail latency, PU utilization, queue peaks,
-hot keys — plus optional SLO burn-rate alerting::
+Drives the ``cluster_simspeed`` scenario — or, with ``--fleet``, the
+sharded KV fleet (``fleet_simspeed``) — with the fleet telemetry plane
+attached (or reads a previously exported stream) and renders a per-bed
+table — requests, tail latency, PU utilization, queue peaks, hot keys
+— plus optional SLO burn-rate alerting::
 
     PYTHONPATH=src python tools/fleet_top.py                    # table
+    PYTHONPATH=src python tools/fleet_top.py --fleet            # KV fleet
     PYTHONPATH=src python tools/fleet_top.py --jsonl out.jsonl  # raw stream
     PYTHONPATH=src python tools/fleet_top.py --json -           # summary
     PYTHONPATH=src python tools/fleet_top.py \\
@@ -59,6 +61,19 @@ def run_cluster(args):
     return fleet.records, fingerprint, measures
 
 
+def run_fleet(args):
+    from repro.bench.fleet import build_fleet
+
+    # --beds are shards here; --clients/--requests keep their meaning.
+    scenario = build_fleet(num_shards=args.beds,
+                           clients_per_shard=args.clients,
+                           requests_per_client=args.requests,
+                           telemetry_path="")
+    fleet = scenario.attach_telemetry(window_ns=args.window)
+    fingerprint, measures = scenario.run(serial=args.serial)
+    return fleet.records, fingerprint, measures
+
+
 def render_fleet(records, window_ns) -> str:
     from repro.bench import render_table
     from repro.obs.telemetry import summarize_records
@@ -97,12 +112,19 @@ def main(argv=None) -> int:
     parser.add_argument("--input", metavar="FILE.jsonl",
                         help="render an existing telemetry stream "
                              "instead of running the cluster")
-    parser.add_argument("--beds", type=int, default=16,
-                        help="cluster beds (default 16)")
-    parser.add_argument("--clients", type=int, default=1,
-                        help="clients per bed (default 1)")
-    parser.add_argument("--requests", type=int, default=40,
-                        help="requests per client (default 40)")
+    parser.add_argument("--fleet", action="store_true",
+                        help="drive the sharded KV fleet "
+                             "(fleet_simspeed) instead of the cluster; "
+                             "--beds become shards")
+    parser.add_argument("--beds", type=int, default=None,
+                        help="cluster beds / fleet shards "
+                             "(default 16 cluster, 8 fleet)")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="clients per bed/shard "
+                             "(default 1 cluster, 128 fleet)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per client "
+                             "(default 40 cluster, 3 fleet)")
     parser.add_argument("--serial", action="store_true",
                         help="drive the serial merge instead of the "
                              "sharded synchronizer (identical stream)")
@@ -126,10 +148,17 @@ def main(argv=None) -> int:
     from repro.obs.telemetry import (DEFAULT_WINDOW_NS, evaluate_slo,
                                      load_slo_rules, summarize_records)
 
+    if args.beds is None:
+        args.beds = 8 if args.fleet else 16
+    if args.clients is None:
+        args.clients = 128 if args.fleet else 1
+    if args.requests is None:
+        args.requests = 3 if args.fleet else 40
+
     if args.input:
         if args.window:
-            parser.error("--window only applies when running the "
-                         "cluster, not with --input")
+            parser.error("--window only applies when running a "
+                         "scenario, not with --input")
         try:
             records = load_records(args.input)
         except (OSError, ValueError) as exc:
@@ -143,19 +172,23 @@ def main(argv=None) -> int:
         window_ns = records[0]["end_ns"] - records[0]["start_ns"]
     else:
         args.window = args.window or DEFAULT_WINDOW_NS
+        label = "fleet" if args.fleet else "cluster"
         try:
-            records, fingerprint, measures = run_cluster(args)
+            runner = run_fleet if args.fleet else run_cluster
+            records, fingerprint, measures = runner(args)
         except Exception as exc:  # scenario misconfiguration
-            print(f"fleet_top: cluster run failed: {exc}",
+            print(f"fleet_top: {label} run failed: {exc}",
                   file=sys.stderr)
             return 2
         window_ns = args.window
         if not args.quiet:
-            print(f"cluster: {fingerprint['requests']} requests, "
-                  f"frontier {fingerprint['frontier_ns']}ns, "
-                  f"{measures['rounds']} rounds "
-                  f"({'serial' if args.serial else 'sharded'})",
-                  file=sys.stderr)
+            line = (f"{label}: {fingerprint['requests']} requests, "
+                    f"frontier {fingerprint['frontier_ns']}ns, "
+                    f"{measures['rounds']} rounds "
+                    f"({'serial' if args.serial else 'sharded'})")
+            if "aggregate_mops" in measures:
+                line += f", {measures['aggregate_mops']:.3f} Mops"
+            print(line, file=sys.stderr)
 
     if args.jsonl:
         text = "".join(json.dumps(record, sort_keys=True) + "\n"

@@ -16,6 +16,11 @@ many kernel events per CPU-second the simulator sustains:
   synchronizer and once by the one-timestamp-window serial merge. The
   two drives must be bit-identical; their events/sec ratio is the
   recorded ``speedup``.
+* ``fleet_simspeed`` — the sharded KV fleet (``repro.bench.fleet``):
+  8 cuckoo-KV shards serving 1024 pooled logical connections with
+  consistent-hash routing, shared CQs, and doorbell batching. Same
+  dual-drive bit-identity contract and speedup measurement as the
+  cluster workload, plus an ``aggregate_mops`` figure.
 
 Methodology: the testbed build (allocating the 256 MB simulated DRAM
 dominates setup) is excluded; only the simulation run phase is timed,
@@ -32,8 +37,8 @@ The committed baseline lives in ``BENCH_simspeed.json`` at the repo
 root. Exit status:
 
 * 0 — within tolerance of the baseline (or baseline just [re]written),
-* 1 — events/sec regressed more than 30% on any workload, or the
-  cluster workload's sharded-vs-serial speedup fell below the floor,
+* 1 — events/sec regressed more than 30% on any workload, or a
+  dual-drive workload's sharded-vs-serial speedup fell below its floor,
 * 2 — determinism fingerprint drifted (simulated results changed —
   that is a correctness bug, not a perf problem),
 * 3 — ``--check`` was asked but no committed baseline exists.
@@ -57,11 +62,14 @@ if str(SRC) not in sys.path:
 
 BASELINE_PATH = REPO_ROOT / "BENCH_simspeed.json"
 REGRESSION_TOLERANCE = 0.30
-# The cluster workload must keep a real sharded-vs-serial win. The
-# committed baseline records the measured speedup (>= 2.5x); the CI
-# floor is deliberately conservative so shared-runner noise does not
-# flake the gate.
+# Dual-drive workloads must keep a real sharded-vs-serial win. The
+# committed baseline records the measured speedups (cluster >= 2.5x,
+# fleet >= 1.8x); the CI floors are deliberately conservative so
+# shared-runner noise does not flake the gate. The fleet floor is
+# lower because its zipfian skew concentrates work on the hot shard,
+# which bounds the conservative synchronizer's parallelism.
 CLUSTER_SPEEDUP_FLOOR = 1.5
+FLEET_SPEEDUP_FLOOR = 1.2
 
 LIST_SIZE = 8
 VALUE_SIZE = 64
@@ -188,31 +196,48 @@ WORKLOADS = {
 }
 
 CLUSTER_WORKLOAD = "cluster_simspeed"
+FLEET_WORKLOAD = "fleet_simspeed"
+
+
+def _build_cluster_scenario():
+    from repro.bench.cluster import build_cluster
+    return build_cluster()
+
+
+def _build_fleet_scenario():
+    from repro.bench.fleet import build_fleet
+    return build_fleet()
+
+
+#: Dual-drive workloads: scenario builder + sharded-vs-serial speedup
+#: floor enforced by ``--check``.
+SPEEDUP_WORKLOADS = {
+    CLUSTER_WORKLOAD: (_build_cluster_scenario, CLUSTER_SPEEDUP_FLOOR),
+    FLEET_WORKLOAD: (_build_fleet_scenario, FLEET_SPEEDUP_FLOOR),
+}
 
 #: Every workload perf_smoke measures, in reporting order.
-ALL_WORKLOADS = list(WORKLOADS) + [CLUSTER_WORKLOAD]
+ALL_WORKLOADS = list(WORKLOADS) + list(SPEEDUP_WORKLOADS)
 
 
-def _drive_cluster(serial: bool):
-    """One timed cluster drive; returns (fingerprint, events, cpu)."""
-    from repro.bench.cluster import build_cluster
-
-    scenario = build_cluster()
+def _drive_scenario(build, serial: bool):
+    """One timed dual-drive run; returns (fingerprint, measures, events, cpu)."""
+    scenario = build()
     events_before = sum(scenario.events_executed())
     gc.collect()
     gc.disable()
     try:
         start = time.process_time()
-        fingerprint, _measures = scenario.run(serial=serial)
+        fingerprint, measures = scenario.run(serial=serial)
         cpu = time.process_time() - start
     finally:
         gc.enable()
     events = sum(scenario.events_executed()) - events_before
-    return fingerprint, events, cpu
+    return fingerprint, measures, events, cpu
 
 
-def run_cluster_workload(reps: int = 3):
-    """Measure the cluster workload in both drive modes.
+def run_speedup_workload(name: str, reps: int = 3):
+    """Measure a dual-drive workload in both modes.
 
     Every rep builds two fresh scenarios — one driven by the sharded
     synchronizer, one by the serial merge — and their fingerprints and
@@ -220,23 +245,27 @@ def run_cluster_workload(reps: int = 3):
     correctness claim, checked every run, not just in tests). The best
     rep per mode counts; ``speedup`` is the events/sec ratio.
     """
+    build, _floor = SPEEDUP_WORKLOADS[name]
     best = {"sharded": None, "serial": None}
     fingerprint = None
     events = None
+    mops = None
     for _ in range(reps):
         for mode in ("sharded", "serial"):
-            fp, ev, cpu = _drive_cluster(serial=(mode == "serial"))
+            fp, measures, ev, cpu = _drive_scenario(
+                build, serial=(mode == "serial"))
             if fingerprint is None:
                 fingerprint, events = fp, ev
+                mops = measures.get("aggregate_mops")
             elif (fp, ev) != (fingerprint, events):
                 raise AssertionError(
-                    f"{CLUSTER_WORKLOAD}: {mode} drive diverged: "
+                    f"{name}: {mode} drive diverged: "
                     f"{(fp, ev)} != {(fingerprint, events)}")
             if best[mode] is None or cpu < best[mode]:
                 best[mode] = cpu
     rate = round(events / best["sharded"]) if best["sharded"] else 0
     serial_rate = round(events / best["serial"]) if best["serial"] else 0
-    return {
+    result = {
         "events": events,
         "cpu_seconds": round(best["sharded"], 4),
         "events_per_sec": rate,
@@ -245,6 +274,9 @@ def run_cluster_workload(reps: int = 3):
         "speedup": round(rate / serial_rate, 2) if serial_rate else 0.0,
         "fingerprint": fingerprint,
     }
+    if mops is not None:
+        result["aggregate_mops"] = mops
+    return result
 
 
 def run_workload(name: str, reps: int = 3):
@@ -254,8 +286,8 @@ def run_workload(name: str, reps: int = 3):
     the best rep's CPU time counts. Fingerprints must agree across reps
     — same-process nondeterminism would already be a bug.
     """
-    if name == CLUSTER_WORKLOAD:
-        return run_cluster_workload(reps=reps)
+    if name in SPEEDUP_WORKLOADS:
+        return run_speedup_workload(name, reps=reps)
     build = WORKLOADS[name]
     best_cpu = None
     events = None
@@ -301,6 +333,7 @@ def measure_tails() -> dict:
     omitted; ``bench_history`` renders missing tails as "-".
     """
     from repro.bench.cluster import build_cluster
+    from repro.bench.fleet import build_fleet
     from repro.obs.metrics import Histogram
     from repro.obs.telemetry import FleetTelemetry
 
@@ -318,15 +351,17 @@ def measure_tails() -> dict:
     if hist.count:
         tails["fig13_list_traversal"] = hist.quantile(0.99)
 
-    scenario = build_cluster(telemetry_path="")
-    fleet = scenario.attach_telemetry()
-    scenario.run()
-    merged = Histogram()
-    for record in fleet.records:
-        if record["latency"]:
-            merged.merge(Histogram.from_snapshot(record["latency"]))
-    if merged.count:
-        tails[CLUSTER_WORKLOAD] = merged.quantile(0.99)
+    for name, builder in ((CLUSTER_WORKLOAD, build_cluster),
+                          (FLEET_WORKLOAD, build_fleet)):
+        scenario = builder(telemetry_path="")
+        fleet = scenario.attach_telemetry()
+        scenario.run()
+        merged = Histogram()
+        for record in fleet.records:
+            if record["latency"]:
+                merged.merge(Histogram.from_snapshot(record["latency"]))
+        if merged.count:
+            tails[name] = merged.quantile(0.99)
     return tails
 
 
@@ -344,9 +379,9 @@ def profile_workloads(top: int = 25) -> str:
     sections = []
     for name in ALL_WORKLOADS:
         profiler = cProfile.Profile()
-        if name == CLUSTER_WORKLOAD:
-            from repro.bench.cluster import build_cluster
-            scenario = build_cluster()
+        if name in SPEEDUP_WORKLOADS:
+            build, _floor = SPEEDUP_WORKLOADS[name]
+            scenario = build()
             profiler.enable()
             scenario.run(serial=False)
             profiler.disable()
@@ -432,11 +467,11 @@ def main(argv=None) -> int:
                   f"events/s is {ratio:.2f}x of baseline "
                   f"{base['events_per_sec']:,d}")
             status = max(status, 1)
-        elif (name == CLUSTER_WORKLOAD
-              and result["speedup"] < CLUSTER_SPEEDUP_FLOOR):
+        elif (name in SPEEDUP_WORKLOADS
+              and result["speedup"] < SPEEDUP_WORKLOADS[name][1]):
             print(f"{name}: SPEEDUP LOST — sharded is only "
                   f"{result['speedup']:.2f}x of the serial merge "
-                  f"(floor {CLUSTER_SPEEDUP_FLOOR}x, baseline "
+                  f"(floor {SPEEDUP_WORKLOADS[name][1]}x, baseline "
                   f"{base.get('speedup', '?')}x)")
             status = max(status, 1)
         else:
