@@ -150,10 +150,23 @@ class _ShardRig:
 
     # -- the per-request data path ----------------------------------------
 
-    def execute_get(self, key: int):
-        """Serve one get on this shard; returns the path label."""
+    def execute_get(self, key: int, blame=None):
+        """Serve one get on this shard; returns the path label.
+
+        ``blame`` is an optional :class:`~repro.obs.blame.RequestBlame`
+        context; the connection plane (pool acquire, doorbell batch,
+        CQE demux) records its spans into it, and this method brackets
+        the offload/service windows around them.
+        """
+        if blame is not None:
+            blame.locus = self.index
         if self.offload is not None and key == self.hot_key:
+            wait_from = self.sim.now
             grant = yield self.offload_lock.acquire()
+            if blame is not None:
+                blame.span(wait_from, self.sim.now, "pool_wait",
+                           self.offload_lock.name)
+                exec_from = self.sim.now
             try:
                 self.offload.post_instances(1)
                 result = yield from self.offload_client.call(
@@ -163,13 +176,22 @@ class _ShardRig:
                 assert result.data[:1] == bytes([key & 0xFF])
             finally:
                 self.offload_lock.release(grant)
+            if blame is not None:
+                blame.span(exec_from, self.sim.now, "offload_exec",
+                           f"{self.shard.name}-off")
             self.executed += 1
             return "offload"
-        lease = yield from self.pool.acquire(tag=f"k{key}")
+        service_from = self.sim.now
+        lease = yield from self.pool.acquire(tag=f"k{key}", blame=blame)
         try:
             yield from self._pooled_get(lease, key)
         finally:
             self.pool.release(lease)
+        if blame is not None:
+            # Covers the lease wait too; the sweep's priority order
+            # carves pool_wait/doorbell_batch/cqe_demux out of it.
+            blame.span(service_from, self.sim.now, "service",
+                       f"{self.shard.name}-kv")
         self.executed += 1
         return "pooled"
 
@@ -191,6 +213,8 @@ class _ShardRig:
                           self.table_rkey, wr_id=1, signaled=True)
         if self.batchers is not None:
             batcher = self.batchers[lease.index]
+            if _obs.enabled:
+                batcher.blame = lease.blame
             lease.post_send(bucket0, batcher=batcher)
             lease.post_send(bucket1, batcher=batcher)
             batcher.flush()
@@ -221,13 +245,20 @@ def _gateway(rig: _ShardRig, reply_to: Dict[int, ShardChannel]):
     rpc = rig.shard.mailbox("rpc")
     sim = rig.sim
     while True:
-        src_index, gid, seq, key = yield rpc.get()
-        yield from rig.execute_get(key)
+        src_index, gid, seq, key, ctx = yield rpc.get()
+        if ctx is not None:
+            ctx.hop_received(sim.now, rig.index, "rpc")
+        yield from rig.execute_get(key, blame=ctx)
         if _obs.enabled:
             telemetry = sim.telemetry
             if telemetry is not None:
                 telemetry.serviced()
-        reply_to[src_index].send(f"rsp{gid}", seq)
+        sent = sim.now
+        arrival = reply_to[src_index].send(f"rsp{gid}", seq)
+        if ctx is not None:
+            # Queue label "rsp", not f"rsp{gid}": per-connection reply
+            # mailboxes would explode blame-table cardinality.
+            ctx.hop_sent(sent, arrival, src_index, "rsp")
 
 
 def _client(rig: _ShardRig, ring: HashRing, rigs: List[_ShardRig],
@@ -243,6 +274,10 @@ def _client(rig: _ShardRig, ring: HashRing, rigs: List[_ShardRig],
     """
     sim = rig.sim
     rsp = rig.shard.mailbox(f"rsp{gid}")
+    blame_cls = None
+    if _obs.enabled and sim.telemetry is not None \
+            and sim.telemetry.exemplar_k:
+        from ..obs.blame import RequestBlame as blame_cls
     if start_skew:
         yield start_skew
     latency_sum = 0
@@ -252,12 +287,23 @@ def _client(rig: _ShardRig, ring: HashRing, rigs: List[_ShardRig],
         key = _pick_key(rig.index, cid, seq)
         owner = ring.owner(key)
         start = sim.now
+        # The causal context travels inside the rpc payload (None when
+        # capture is off) — payloads are opaque to the fabric, so the
+        # schedule and the fingerprint never depend on it.
+        ctx = None
+        if blame_cls is not None:
+            ctx = blame_cls(rig.index, gid * requests + seq, key, start)
         if owner == rig.index:
-            yield from rig.execute_get(key)
+            yield from rig.execute_get(key, blame=ctx)
         else:
-            forward[owner].send("rpc", (rig.index, gid, seq, key))
+            arrival = forward[owner].send(
+                "rpc", (rig.index, gid, seq, key, ctx))
+            if ctx is not None:
+                ctx.hop_sent(start, arrival, owner, "rpc")
             reply = yield rsp.get()
             assert reply == seq, f"out-of-order reply {reply} != {seq}"
+            if ctx is not None:
+                ctx.hop_received(sim.now, rig.index, "rsp")
             remote_ops += 1
         latency = sim.now - start
         latency_sum += latency
@@ -265,7 +311,8 @@ def _client(rig: _ShardRig, ring: HashRing, rigs: List[_ShardRig],
         if _obs.enabled:
             telemetry = sim.telemetry
             if telemetry is not None:
-                telemetry.request_complete(latency, key=f"k{key}")
+                telemetry.request_complete(latency, key=f"k{key}",
+                                           blame=ctx)
         yield THINK_NS + (dither_base + seq * 31) % 97
     # sim.now here, not the drained-queue frontier: a dangling offload
     # timeout event otherwise inflates the denominator of Mops.
@@ -315,13 +362,20 @@ class FleetScenario:
         return self.num_shards * self.clients_per_shard
 
     def attach_telemetry(self, window_ns: Optional[int] = None,
-                         sink=None, path: Optional[str] = None):
-        """Attach per-shard telemetry (see ClusterScenario for the shape)."""
+                         sink=None, path: Optional[str] = None,
+                         exemplars: int = 0):
+        """Attach per-shard telemetry (see ClusterScenario for the shape).
+
+        ``exemplars`` > 0 turns on tail exemplar capture: each window
+        record keeps the ``exemplars`` slowest requests' full blame
+        breakdowns (see :mod:`repro.obs.blame`).
+        """
         from ..obs.telemetry import DEFAULT_WINDOW_NS, FleetTelemetry
         if self._telemetry is not None:
             raise RuntimeError("telemetry already attached")
         fleet = FleetTelemetry(
-            window_ns=window_ns or DEFAULT_WINDOW_NS, sink=sink)
+            window_ns=window_ns or DEFAULT_WINDOW_NS, sink=sink,
+            exemplars=exemplars)
         for rig in self.rigs:
             fleet.attach(rig.sim, bed=rig.shard.name,
                          shard=rig.shard.index)
@@ -427,20 +481,25 @@ def build_fleet(num_shards: int = 8, clients_per_shard: int = 128,
                 requests_per_client: int = 3, pool_qps: int = 8,
                 batch_doorbells: bool = True, gateway_workers: int = 8,
                 link_ns: int = FLEET_LINK_NS,
-                telemetry_path: Optional[str] = None) -> FleetScenario:
+                telemetry_path: Optional[str] = None,
+                exemplars: Optional[int] = None) -> FleetScenario:
     """The canonical ``fleet_simspeed`` configuration.
 
     Defaults drive 1024 logical client connections (8 shards x 128)
     over 64 pooled QPs and 16 shared CQs total, with doorbell batching
     on. ``telemetry_path`` (default: the ``REPRO_TELEMETRY``
     environment variable) attaches the telemetry fleet and writes the
-    merged JSONL stream there after the run.
+    merged JSONL stream there after the run; ``exemplars`` (default:
+    ``REPRO_EXEMPLARS``) sets the per-window tail-exemplar count.
     """
     scenario = FleetScenario(num_shards, clients_per_shard,
                              requests_per_client, pool_qps,
                              batch_doorbells, gateway_workers, link_ns)
     if telemetry_path is None:
         telemetry_path = os.environ.get("REPRO_TELEMETRY") or None
+    if exemplars is None:
+        exemplars = int(os.environ.get("REPRO_EXEMPLARS", "0") or 0)
     if telemetry_path:
-        scenario.attach_telemetry(path=telemetry_path)
+        scenario.attach_telemetry(path=telemetry_path,
+                                  exemplars=exemplars)
     return scenario

@@ -44,6 +44,7 @@ from bisect import bisect_right
 from collections import deque
 from typing import Callable, Deque, Dict, Generator, List, Optional, Tuple
 
+from .. import obs as _obs
 from ..datastructs.hashing import hash_key
 from ..memory.region import ProtectionDomain
 from ..nic.qp import QueuePair
@@ -89,16 +90,20 @@ class QpLease(object):
     """
 
     __slots__ = ("pool", "qp", "index", "generation", "tag", "active",
-                 "_inbox", "_cq_waiters")
+                 "blame", "_inbox", "_cq_waiters")
 
     def __init__(self, pool: "QpPool", qp: QueuePair, index: int,
-                 generation: int, tag: str = ""):
+                 generation: int, tag: str = "", blame=None):
         self.pool = pool
         self.qp = qp
         self.index = index
         self.generation = generation
         self.tag = tag
         self.active = True
+        #: Optional :class:`repro.obs.blame.RequestBlame` context for
+        #: the request this lease serves; the router and batcher record
+        #: their causal spans into it. Pure host-side bookkeeping.
+        self.blame = blame
         self._inbox: Deque[Cqe] = deque()
         self._cq_waiters: Deque[Event] = deque()
 
@@ -230,10 +235,25 @@ class CompletionRouter:
             self.stale += 1
             self.stale_cqes.append(
                 (cqe.wq_num, generation, cqe.wr_id & _USER_MASK))
+            if _obs.enabled:
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.cqe_demux(cq, cqe, stale=True)
             return
         # Strip the cookie so the consumer sees the wr_id it posted.
         cqe.wr_id &= _USER_MASK
         self.routed += 1
+        if _obs.enabled:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.cqe_demux(cq, cqe, stale=False)
+            blame = lease.blame
+            if blame is not None:
+                # The completion-to-host-delivery window: the CQE was
+                # raised at cqe.timestamp, the demux runs now — blaming
+                # the *edge*, not the completion order.
+                blame.span(cqe.timestamp, self.sim.now, "cqe_demux",
+                           cq.name)
         lease._deliver(cqe)
 
 
@@ -296,7 +316,7 @@ class QpPool(object):
     def in_use(self) -> int:
         return self.capacity - len(self._free)
 
-    def lease(self, tag: str = "") -> QpLease:
+    def lease(self, tag: str = "", blame=None) -> QpLease:
         """Lease the next free QP or raise :class:`PoolExhausted`."""
         if not self._free:
             self.exhausted_hits += 1
@@ -307,7 +327,8 @@ class QpPool(object):
         generation = self._generations[index]
         if generation:
             self.recycles += 1
-        lease = QpLease(self, self.qps[index], index, generation, tag=tag)
+        lease = QpLease(self, self.qps[index], index, generation,
+                        tag=tag, blame=blame)
         self.router.register(lease.qp.send_wq.wq_num, lease)
         self.router.register(lease.qp.recv_wq.wq_num, lease)
         self.leases_granted += 1
@@ -315,13 +336,28 @@ class QpPool(object):
             self.peak_in_use = self.in_use
         return lease
 
-    def acquire(self, tag: str = "") -> Generator:
+    def acquire(self, tag: str = "", blame=None) -> Generator:
         """Process helper: wait (FIFO) for a free QP, then lease it."""
+        waited_from = None
         while not self._free:
+            if waited_from is None:
+                waited_from = self.sim.now
             event = Event(self.sim, f"{self.name}-acquire")
             self._waiters.append(event)
             yield event
-        return self.lease(tag)
+        if _obs.enabled:
+            now = self.sim.now
+            wait_ns = 0 if waited_from is None else now - waited_from
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                telemetry.on_pool_wait(self, wait_ns)
+            if wait_ns:
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.pool_wait(self, waited_from, tag)
+                if blame is not None:
+                    blame.span(waited_from, now, "pool_wait", self.name)
+        return self.lease(tag, blame=blame)
 
     def release(self, lease: QpLease) -> None:
         """Return a leased QP; bumps its generation (stale fence)."""

@@ -562,7 +562,7 @@ class DoorbellBatcher:
     """
 
     __slots__ = ("wq", "max_batch", "deadline_ns", "pending", "flushes",
-                 "coalesced", "_deadline_token")
+                 "coalesced", "blame", "_hold_since", "_deadline_token")
 
     def __init__(self, wq: WorkQueue, max_batch: int = 16,
                  deadline_ns: Optional[int] = None):
@@ -576,6 +576,10 @@ class DoorbellBatcher:
         self.pending = 0          # WQEs posted but not yet rung
         self.flushes = 0          # doorbells actually rung
         self.coalesced = 0        # WQEs covered by those doorbells
+        #: Optional blame context (repro.obs.blame.RequestBlame) the
+        #: next flush charges its hold window + batch surcharge to.
+        self.blame = None
+        self._hold_since = 0      # first suppressed post of the batch
         self._deadline_token: Optional[object] = None
 
     def __repr__(self) -> str:
@@ -586,6 +590,8 @@ class DoorbellBatcher:
         """Post with the doorbell suppressed; returns the WR index."""
         wr_index = self.wq.post(wqe, ring_doorbell=False)
         self.pending += 1
+        if _obs.enabled and self.pending == 1:
+            self._hold_since = self.wq.sim.now
         if self.pending >= self.max_batch:
             self.flush()
         elif self.pending == 1 and self.deadline_ns is not None:
@@ -608,6 +614,20 @@ class DoorbellBatcher:
         self.pending = 0
         self.flushes += 1
         self.coalesced += count
-        self.wq.doorbell(
-            extra_delay_ns=(count - 1) * self.wq.doorbell_batch_entry_ns)
+        extra_delay_ns = (count - 1) * self.wq.doorbell_batch_entry_ns
+        if _obs.enabled:
+            sim = self.wq.sim
+            hold_since = self._hold_since or sim.now
+            tracer = sim.tracer
+            if tracer is not None:
+                tracer.doorbell_batch(self.wq, count, hold_since,
+                                      extra_delay_ns)
+            blame = self.blame
+            if blame is not None:
+                # Hold window (first suppressed post -> this flush)
+                # plus the per-entry surcharge the coalesced ring pays.
+                blame.span(hold_since, sim.now + extra_delay_ns,
+                           "doorbell_batch", self.wq.name)
+        self._hold_since = 0
+        self.wq.doorbell(extra_delay_ns=extra_delay_ns)
         return count

@@ -36,7 +36,12 @@ rebuilds the causal DAG over a recorded trace's events per request,
 computes the critical path, and attributes every nanosecond of a
 request to exactly one typed phase (``queueing``/``fetch``/
 ``wait_blocked``/``pu_exec``/``dma``/``wire``/``cqe``) — see
-``tools/latency_profile.py``.
+``tools/latency_profile.py``. ``repro.obs.blame`` extends that
+attribution *across shards*: a live :class:`RequestBlame` context
+rides the fleet's fabric payloads while the connection plane records
+typed spans into it (``pool_wait``, ``doorbell_batch``, ``cqe_demux``,
+``link_wire``, ``gw_wait``), so per-phase blame for a cross-shard get
+sums exactly to its end-to-end latency — see ``tools/tail_blame.py``.
 
 Fast path
 ---------
@@ -88,6 +93,16 @@ __all__ = [
     "profile_tracer",
     "profile_trace",
     "sync_counts",
+    "attribute_spans",
+    "BLAME_PHASES",
+    "RequestBlame",
+    "blame_table",
+    "summarize_blame",
+    "folded_blame",
+    "diff_blame",
+    "blame_registries",
+    "exemplar_order",
+    "exemplars_of",
     "NormalizedEvent",
     "events_from_tracer",
     "events_from_trace",
@@ -163,6 +178,16 @@ _LAZY = {
     "profile_tracer": "critpath",
     "profile_trace": "critpath",
     "sync_counts": "critpath",
+    "attribute_spans": "critpath",
+    "BLAME_PHASES": "blame",
+    "RequestBlame": "blame",
+    "blame_table": "blame",
+    "summarize_blame": "blame",
+    "folded_blame": "blame",
+    "diff_blame": "blame",
+    "blame_registries": "blame",
+    "exemplar_order": "blame",
+    "exemplars_of": "blame",
     "NormalizedEvent": "events",
     "events_from_tracer": "events",
     "events_from_trace": "events",

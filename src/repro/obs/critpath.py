@@ -55,6 +55,7 @@ __all__ = [
     "NormalizedEvent",
     "RequestProfile",
     "CritPathProfile",
+    "attribute_spans",
     "events_from_tracer",
     "events_from_trace",
     "profile_events",
@@ -99,28 +100,45 @@ def _phase_of(event: NormalizedEvent) -> Optional[Tuple[str, str]]:
         cq_num = event.args.get("cq_num")
         detail = f"WAIT(cq{cq_num})" if cq_num is not None else "WAIT"
         return ("wait_blocked", detail)
+    if cat == "link":
+        # Cross-shard synchronizer hops (ShardFabric messages) are wire
+        # time from the critical-path taxonomy's point of view.
+        return ("wire", event.name)
     return None
 
 
-def _attribute(spans: List[Tuple[int, int, str, str]],
-               t0: int, t1: int) -> Tuple[Dict[str, int], Counter]:
+def attribute_spans(spans: List[Tuple[int, int, str, Any]],
+                    t0: int, t1: int,
+                    phases: Tuple[str, ...] = PHASES,
+                    priority: Optional[Dict[str, int]] = None,
+                    gap_phase: str = "queueing",
+                    gap_detail: Any = "idle",
+                    ) -> Tuple[Dict[str, int], Counter]:
     """Partition [t0, t1) over ``spans`` by phase priority.
 
-    ``spans`` are (start, end, phase, detail), already clamped to the
-    window. Returns ({phase: ns}, Counter[(phase, detail)] -> ns); the
-    phase dict always carries every phase and sums exactly to t1 - t0.
+    The exact-sum sweep shared by the critical-path profiler and the
+    tail-blame plane (``repro.obs.blame``): ``spans`` are (start, end,
+    phase, detail) tuples already clamped to the window; ``phases`` is
+    the taxonomy in priority order (highest first) with ``gap_phase``
+    as the filler for uncovered nanoseconds. Returns ({phase: ns},
+    Counter[(phase, detail)] -> ns); the phase dict always carries
+    every phase and sums **exactly** to ``t1 - t0`` — the sweep
+    partitions the window, so nothing is double counted or dropped.
     """
-    phases = {phase: 0 for phase in PHASES}
+    if priority is None:
+        priority = {phase: len(phases) - index
+                    for index, phase in enumerate(phases)}
+    totals = {phase: 0 for phase in phases}
     details: Counter = Counter()
     if t1 <= t0:
-        return phases, details
+        return totals, details
     bounds = {t0, t1}
     for start, end, _, _ in spans:
         bounds.add(start)
         bounds.add(end)
     cuts = sorted(bounds)
-    ordered = sorted(spans)
-    active: List[Tuple[int, int, str, str]] = []
+    ordered = sorted(spans, key=lambda s: (s[0], s[1], s[2], str(s[3])))
+    active: List[Tuple[int, int, str, Any]] = []
     index = 0
     for a, b in zip(cuts, cuts[1:]):
         while index < len(ordered) and ordered[index][0] <= a:
@@ -132,12 +150,18 @@ def _attribute(spans: List[Tuple[int, int, str, str]],
             # Highest priority wins; ties break on the latest-started,
             # then lexicographically — fully deterministic.
             _, end, phase, detail = max(
-                active, key=lambda s: (_PRIORITY[s[2]], s[0], s[3]))
+                active, key=lambda s: (priority[s[2]], s[0], str(s[3])))
         else:
-            phase, detail = "queueing", "idle"
-        phases[phase] += b - a
+            phase, detail = gap_phase, gap_detail
+        totals[phase] += b - a
         details[(phase, detail)] += b - a
-    return phases, details
+    return totals, details
+
+
+def _attribute(spans: List[Tuple[int, int, str, str]],
+               t0: int, t1: int) -> Tuple[Dict[str, int], Counter]:
+    """The critical-path taxonomy's instantiation of the sweep."""
+    return attribute_spans(spans, t0, t1, PHASES, _PRIORITY)
 
 
 # -- causal DAG / critical path ------------------------------------------

@@ -60,20 +60,42 @@ def load_trace(source) -> TraceData:
 
 
 def summarize_trace(data: TraceData) -> Dict[str, Any]:
-    """Aggregate counts: per category, per track, race totals, span."""
+    """Aggregate counts: per category, per track, race totals, span.
+
+    Connection-plane spans (category ``conn``: pool lease waits,
+    doorbell batch holds, shared-CQ demux) and cross-shard fabric hops
+    (category ``link``, one track per directed shard pair) get their
+    own census — ``conn`` and ``links`` — so a fleet trace summary
+    answers "did the connection plane record anything" directly.
+    """
     by_category: Counter = Counter()
     by_name: Counter = Counter()
     by_track: Counter = Counter()
     races = {"self_mod": 0, "stale_wqe": 0}
+    conn = {"pool_wait": 0, "doorbell_batch": 0, "cqe_demux": 0,
+            "cqe_demux_stale": 0}
+    links: Counter = Counter()
     first_ts: Optional[float] = None
     last_ts = 0.0
     for event in data.events:
-        by_category[event.get("cat", "?")] += 1
-        by_name[event.get("name", "?")] += 1
-        by_track[data.track_name(event)] += 1
+        category = event.get("cat", "?")
         name = event.get("name")
-        if event.get("cat") == "race" and name in races:
+        by_category[category] += 1
+        by_name[name or "?"] += 1
+        by_track[data.track_name(event)] += 1
+        if category == "race" and name in races:
             races[name] += 1
+        elif category == "conn" and name:
+            if name == "pool_wait":
+                conn["pool_wait"] += 1
+            elif name.startswith("batch["):
+                conn["doorbell_batch"] += 1
+            elif name == "demux":
+                conn["cqe_demux"] += 1
+            elif name == "demux:stale":
+                conn["cqe_demux_stale"] += 1
+        elif category == "link":
+            links[data.track_name(event)] += 1
         ts = event.get("ts")
         if ts is not None:
             end = ts + event.get("dur", 0)
@@ -86,6 +108,8 @@ def summarize_trace(data: TraceData) -> Dict[str, Any]:
         "top_names": by_name.most_common(12),
         "tracks": dict(sorted(by_track.items())),
         "races": races,
+        "conn": conn,
+        "links": dict(sorted(links.items())),
     }
 
 
@@ -175,6 +199,19 @@ def render_summary(data: TraceData) -> str:
     lines.append("")
     lines.append(f"self-modification events: {races['self_mod']}   "
                  f"stale-fetch races: {races['stale_wqe']}")
+    conn = summary["conn"]
+    if any(conn.values()):
+        lines.append("")
+        lines.append(
+            f"connection plane: {conn['pool_wait']} pool waits, "
+            f"{conn['doorbell_batch']} doorbell batches, "
+            f"{conn['cqe_demux']} CQE demuxes "
+            f"({conn['cqe_demux_stale']} stale)")
+    if summary["links"]:
+        lines.append("")
+        lines.append("cross-shard links:")
+        for track, count in summary["links"].items():
+            lines.append(f"  {track:40s} {count:8d}")
     return "\n".join(lines)
 
 

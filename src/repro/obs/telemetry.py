@@ -81,7 +81,8 @@ class TelemetryCollector:
                  "_window", "_seq", "_posts", "_doorbells", "_fetches",
                  "_wrs", "_cqes", "_dma_bytes", "_requests", "_serviced",
                  "_pu_busy", "_latency", "_keys", "_depth", "_depth_wmax",
-                 "_cq_wmax", "_sq_open_depth", "_run_hist")
+                 "_cq_wmax", "_sq_open_depth", "_run_hist", "exemplar_k",
+                 "_exemplars", "_pool_wait")
 
     def __init__(self, fleet: "FleetTelemetry", sim, bed: str, shard: int):
         self.fleet = fleet
@@ -89,6 +90,8 @@ class TelemetryCollector:
         self.bed = bed
         self.shard = shard
         self.window_ns = fleet.window_ns
+        #: Tail exemplars retained per window (0 disables capture).
+        self.exemplar_k = fleet.exemplars
         #: Finalized records awaiting emission, in window order.
         self.finalized: List[dict] = []
         self._window: Optional[int] = None
@@ -115,6 +118,8 @@ class TelemetryCollector:
         self._serviced = 0
         self._pu_busy = 0
         self._latency = Histogram()
+        self._pool_wait = Histogram()
+        self._exemplars: List[dict] = []
         self._keys: Dict[str, int] = {}
         # Per-window peak depth per queue, seeded from the carried-over
         # depths so an idle-but-backlogged queue still reports its level.
@@ -187,6 +192,17 @@ class TelemetryCollector:
         }
         if self._keys:
             record["keys"] = dict(sorted(self._keys.items()))
+        if self._pool_wait.count:
+            pool_wait = self._pool_wait.snapshot()
+            for label, fraction in _QUANTILES:
+                pool_wait[label] = self._pool_wait.quantile(fraction)
+            record["pool_wait"] = pool_wait
+        if self._exemplars:
+            # Top-k slowest requests of the window, deterministically:
+            # larger latency first, ties by smaller (shard, seq).
+            from .blame import exemplar_order
+            self._exemplars.sort(key=exemplar_order)
+            record["exemplars"] = self._exemplars[:self.exemplar_k]
         self._seq += 1
         self.finalized.append(record)
         self._reset_window_state()
@@ -234,8 +250,22 @@ class TelemetryCollector:
         self._touch()
         self._dma_bytes += nbytes
 
-    def request_complete(self, latency_ns: int, key=None) -> None:
-        """A client-visible request finished with the given latency."""
+    def on_pool_wait(self, pool, wait_ns: int) -> None:
+        """One QP-pool lease acquisition waited ``wait_ns`` (0 = free)."""
+        self._touch()
+        self._pool_wait.observe(wait_ns)
+        self.sim.metrics.histogram("telemetry.pool_wait_ns").observe(
+            wait_ns)
+
+    def request_complete(self, latency_ns: int, key=None,
+                         blame=None) -> None:
+        """A client-visible request finished with the given latency.
+
+        ``blame`` is the request's :class:`repro.obs.blame.RequestBlame`
+        context (or ``None``): with exemplar capture on, its finished
+        per-phase breakdown joins the window's tail-exemplar pool —
+        bounded at 4k candidates between prunes, top-k at finalize.
+        """
         self._touch()
         self._requests += 1
         self._latency.observe(latency_ns)
@@ -243,6 +273,12 @@ class TelemetryCollector:
         if key is not None:
             key = str(key)
             self._keys[key] = self._keys.get(key, 0) + 1
+        if blame is not None and self.exemplar_k:
+            self._exemplars.append(blame.finish(self.sim.now))
+            if len(self._exemplars) >= 4 * self.exemplar_k:
+                from .blame import exemplar_order
+                self._exemplars.sort(key=exemplar_order)
+                del self._exemplars[self.exemplar_k:]
 
     def serviced(self) -> None:
         """A frontend finished servicing one inbound request."""
@@ -260,10 +296,17 @@ class FleetTelemetry:
     seal, in the optional ``sink`` (a writable file-like, JSONL).
     """
 
-    def __init__(self, window_ns: int = DEFAULT_WINDOW_NS, sink=None):
+    def __init__(self, window_ns: int = DEFAULT_WINDOW_NS, sink=None,
+                 exemplars: int = 0):
         if window_ns <= 0:
             raise ValueError(f"window_ns must be positive, got {window_ns}")
+        if exemplars < 0:
+            raise ValueError(f"exemplars must be >= 0, got {exemplars}")
         self.window_ns = window_ns
+        #: Tail exemplars per (window, bed): the k slowest requests'
+        #: full per-phase blame breakdowns ride each window record
+        #: (see ``repro.obs.blame``); 0 keeps the stream unchanged.
+        self.exemplars = exemplars
         self.records: List[dict] = []
         self.sink = sink
         self.collectors: List[TelemetryCollector] = []
@@ -356,6 +399,14 @@ def metric_value(record: dict, metric: str):
         if metric == "latency_max_ns":
             return latency.get("max")
         return latency.get(metric[:-3])
+    if metric in ("pool_wait_p50_ns", "pool_wait_p99_ns",
+                  "pool_wait_p999_ns", "pool_wait_max_ns"):
+        pool_wait = record.get("pool_wait")
+        if not pool_wait:
+            return None
+        if metric == "pool_wait_max_ns":
+            return pool_wait.get("max")
+        return pool_wait.get(metric[len("pool_wait_"):-3])
     queues = record.get("queues", {})
     if metric in queues:
         return queues[metric]
@@ -371,6 +422,7 @@ def summarize_records(records: List[dict]) -> Dict[str, dict]:
     """
     beds: Dict[str, dict] = {}
     hists: Dict[str, Histogram] = {}
+    pool_hists: Dict[str, Histogram] = {}
     for record in records:
         bed = record["bed"]
         summary = beds.get(bed)
@@ -380,10 +432,12 @@ def summarize_records(records: List[dict]) -> Dict[str, dict]:
                 "posts": 0, "doorbells": 0, "fetches": 0, "wrs": 0,
                 "cqes": 0, "dma_bytes": 0, "requests": 0, "serviced": 0,
                 "pu_busy_ns": 0, "sq_depth_max": 0, "cq_depth_max": 0,
-                "sq_hot": None, "keys": {}, "first_window": record["window"],
+                "sq_hot": None, "keys": {}, "exemplars": 0,
+                "first_window": record["window"],
                 "last_window": record["window"],
             }
             hists[bed] = Histogram()
+            pool_hists[bed] = Histogram()
         summary["windows"] += 1
         summary["last_window"] = record["window"]
         for field in ("posts", "doorbells", "fetches", "wrs", "cqes",
@@ -397,8 +451,12 @@ def summarize_records(records: List[dict]) -> Dict[str, dict]:
             summary["cq_depth_max"] = queues["cq_depth_max"]
         for key, count in record.get("keys", {}).items():
             summary["keys"][key] = summary["keys"].get(key, 0) + count
+        summary["exemplars"] += len(record.get("exemplars", ()))
         if record["latency"]:
             hists[bed].merge(Histogram.from_snapshot(record["latency"]))
+        if record.get("pool_wait"):
+            pool_hists[bed].merge(
+                Histogram.from_snapshot(record["pool_wait"]))
     for bed, summary in beds.items():
         histogram = hists[bed]
         span = summary["last_window"] - summary["first_window"] + 1
@@ -411,6 +469,13 @@ def summarize_records(records: List[dict]) -> Dict[str, dict]:
             for label, fraction in _QUANTILES:
                 latency[label] = histogram.quantile(fraction)
             summary["latency"] = latency
+        summary["pool_wait"] = None
+        pool_hist = pool_hists[bed]
+        if pool_hist.count:
+            pool_wait = pool_hist.snapshot()
+            for label, fraction in _QUANTILES:
+                pool_wait[label] = pool_hist.quantile(fraction)
+            summary["pool_wait"] = pool_wait
         summary["keys"] = dict(sorted(
             summary["keys"].items(),
             key=lambda item: (-item[1], item[0])))

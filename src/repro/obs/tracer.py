@@ -366,6 +366,47 @@ class Tracer:
                      dur=self.sim.now - start_ns,
                      args={"bytes": nbytes, "dst": dst_nic.name})
 
+    # -- connection-plane / cross-shard events -------------------------------
+
+    def pool_wait(self, pool, start_ns: int, tag: str = "") -> None:
+        """One lease's FIFO wait in a QpPool's acquire queue."""
+        pid = self._pid(pool.name)
+        tid = self._tid(pid, "lease-wait")
+        self._append("X", "conn", "pool_wait", pid, tid, start_ns,
+                     dur=self.sim.now - start_ns,
+                     args={"pool": pool.name, "tag": tag})
+
+    def doorbell_batch(self, wq, count: int, start_ns: int,
+                       extra_delay_ns: int) -> None:
+        """One coalesced doorbell flush: hold window + batch surcharge."""
+        pid, tid = self._wq_track(wq)
+        self._append("X", "conn", f"batch[{count}]", pid, tid, start_ns,
+                     dur=(self.sim.now - start_ns) + extra_delay_ns,
+                     args={"wq": wq.name, "count": count,
+                           "extra_delay_ns": extra_delay_ns})
+
+    def cqe_demux(self, cq, cqe, stale: bool) -> None:
+        """CompletionRouter verdict for one shared-CQ entry."""
+        pid = self._cq_pids.get(id(cq))
+        if pid is None:
+            pid = self._pid("orphan-queues")
+        tid = self._tid(pid, f"cq:{cq.name}")
+        name = "demux:stale" if stale else "demux"
+        self._append("i", "conn", name, pid, tid, self.sim.now,
+                     args={"cq_num": cq.cq_num, "wq_num": cqe.wq_num,
+                           "wr_id": cqe.wr_id})
+
+    def link_send(self, src_index: int, dst_index: int, mailbox: str,
+                  arrival_ns: int) -> None:
+        """One ShardFabric message's wire traversal to the peer shard."""
+        pid = self._pid("fabric")
+        tid = self._tid(pid, f"link:{src_index}->{dst_index}")
+        now = self.sim.now
+        self._append("X", "link", f"link:{mailbox}", pid, tid, now,
+                     dur=arrival_ns - now,
+                     args={"src": src_index, "dst": dst_index,
+                           "mailbox": mailbox, "arrival_ns": arrival_ns})
+
     def offload_call(self, conn, start_ns: int, ok: bool,
                      byte_len: int) -> None:
         pid = self.attach_nic(conn.client_nic)

@@ -68,8 +68,9 @@ def run_fleet(args):
     scenario = build_fleet(num_shards=args.beds,
                            clients_per_shard=args.clients,
                            requests_per_client=args.requests,
-                           telemetry_path="")
-    fleet = scenario.attach_telemetry(window_ns=args.window)
+                           telemetry_path="", exemplars=0)
+    fleet = scenario.attach_telemetry(window_ns=args.window,
+                                      exemplars=args.exemplars)
     fingerprint, measures = scenario.run(serial=args.serial)
     return fleet.records, fingerprint, measures
 
@@ -79,19 +80,21 @@ def render_fleet(records, window_ns) -> str:
     from repro.obs.telemetry import summarize_records
 
     summaries = summarize_records(records)
-    headers = ["bed", "req", "req/us", "p50", "p99", "p999", "util%",
-               "sq^", "cq^", "wrs", "dma KB", "hot key"]
+    headers = ["bed", "req", "req/us", "p50", "p99", "p999", "pw p99",
+               "util%", "sq^", "cq^", "wrs", "dma KB", "hot key"]
     rows = []
     for bed in sorted(summaries):
         s = summaries[bed]
         span_ns = (s["last_window"] - s["first_window"] + 1) * window_ns
         rate = s["requests"] / span_ns * 1000 if span_ns else 0.0
         latency = s["latency"] or {}
+        pool_wait = s.get("pool_wait") or {}
         hot = next(iter(s["keys"].items()), None)
         rows.append([
             bed, str(s["requests"]), f"{rate:.2f}",
             str(latency.get("p50", "-")), str(latency.get("p99", "-")),
             str(latency.get("p999", "-")),
+            str(pool_wait.get("p99", "-")),
             f"{s['util'] * 100:.1f}",
             str(s["sq_depth_max"]), str(s["cq_depth_max"]),
             str(s["wrs"]), f"{s['dma_bytes'] / 1024:.0f}",
@@ -130,6 +133,10 @@ def main(argv=None) -> int:
                              "sharded synchronizer (identical stream)")
     parser.add_argument("--window", type=int, metavar="NS",
                         help="telemetry window width in simulated ns")
+    parser.add_argument("--exemplars", type=int, default=0, metavar="K",
+                        help="with --fleet: keep the K slowest "
+                             "requests' blame breakdowns per window "
+                             "(see tools/tail_blame.py)")
     parser.add_argument("--json", metavar="FILE",
                         help="write the per-bed summary as JSON "
                              "('-' for stdout)")
@@ -144,6 +151,8 @@ def main(argv=None) -> int:
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the table (exports/alerts only)")
     args = parser.parse_args(argv)
+    if args.exemplars and not args.fleet:
+        parser.error("--exemplars requires --fleet")
 
     from repro.obs.telemetry import (DEFAULT_WINDOW_NS, evaluate_slo,
                                      load_slo_rules, summarize_records)

@@ -11,6 +11,12 @@ in OpenMetrics/Prometheus text exposition format::
     PYTHONPATH=src python tools/metrics_export.py -o metrics.prom
     PYTHONPATH=src python tools/metrics_export.py --offload recycled-get
 
+With ``--blame STREAM.jsonl`` it instead exports the tail-blame
+rollup of a fleet telemetry stream (written with exemplars on, see
+``tools/tail_blame.py``) as (phase, shard)-labeled counters —
+``blame_phase_ns_total{shard="shard3", key="pool_wait"}`` — one
+labeled registry per shard via ``to_openmetrics_multi``.
+
 The output is deterministic for a given scenario and parses back with
 ``repro.obs.parse_openmetrics`` (the round-trip the test suite checks),
 so it can double as a golden artifact for dashboard ingestion tests.
@@ -40,6 +46,11 @@ def main(argv=None) -> int:
                         help="scenario to run (default hash-lookup)")
     parser.add_argument("--calls", type=int, default=4,
                         help="offload calls to issue (default 4)")
+    parser.add_argument("--blame", metavar="STREAM.jsonl",
+                        help="export a fleet telemetry stream's "
+                             "tail-blame rollup as (phase, shard)-"
+                             "labeled counters instead of running an "
+                             "offload scenario")
     parser.add_argument("-o", "--output", metavar="FILE",
                         help="write to FILE instead of stdout")
     parser.add_argument("--label", action="append", default=[],
@@ -55,6 +66,35 @@ def main(argv=None) -> int:
         if not sep or not key:
             parser.error(f"--label wants KEY=VALUE, got {item!r}")
         labels[key] = value
+
+    if args.blame:
+        import json
+
+        from repro.obs import blame_registries, to_openmetrics_multi
+        if labels:
+            parser.error("--label does not combine with --blame "
+                         "(samples are shard-labeled already)")
+        try:
+            with open(args.blame) as handle:
+                records = [json.loads(line) for line in handle
+                           if line.strip()]
+        except (OSError, ValueError) as exc:
+            print(f"metrics_export: cannot read {args.blame}: {exc}",
+                  file=sys.stderr)
+            return 2
+        registries = blame_registries(records)
+        if not registries:
+            print(f"metrics_export: {args.blame} holds no blame "
+                  "exemplars", file=sys.stderr)
+            return 2
+        text = to_openmetrics_multi(registries, label="shard")
+        if args.output:
+            Path(args.output).write_text(text)
+            print(f"wrote {len(text.splitlines())} lines to "
+                  f"{args.output}", file=sys.stderr)
+        else:
+            sys.stdout.write(text)
+        return 0
 
     from repro.obs import profile_tracer
 

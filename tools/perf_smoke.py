@@ -412,20 +412,55 @@ def main(argv=None) -> int:
                         help="also run each workload once under cProfile "
                              "and write a top-hotspot report to FILE "
                              "('-' for stdout)")
+    parser.add_argument("--fingerprints-only", action="store_true",
+                        help="one untimed rep per workload; compare "
+                             "only the determinism fingerprints against "
+                             "the committed baseline (the CI obs-"
+                             "neutrality step — wall-clock noise never "
+                             "fails it). Exit 2 on drift, 3 if the "
+                             "baseline is missing.")
     args = parser.parse_args(argv)
     if args.check and args.update_baseline:
         parser.error("--check and --update-baseline are exclusive")
+    if args.fingerprints_only and args.update_baseline:
+        parser.error("--fingerprints-only and --update-baseline are "
+                     "exclusive")
+    if args.fingerprints_only:
+        args.reps = 1
 
     results = {}
     for name in ALL_WORKLOADS:
         results[name] = run_workload(name, reps=args.reps)
         r = results[name]
+        if args.fingerprints_only:
+            continue
         line = (f"{name:24s} {r['events_per_sec']:>10,d} events/s "
                 f"({r['events']} events in {r['cpu_seconds']:.3f}s CPU)")
         if "speedup" in r:
             line += (f" | serial {r['serial_events_per_sec']:,d} ev/s"
                      f" | speedup {r['speedup']:.2f}x")
         print(line)
+
+    if args.fingerprints_only:
+        if not BASELINE_PATH.exists():
+            print(f"--fingerprints-only: no baseline at {BASELINE_PATH} "
+                  "(commit one with --update-baseline)")
+            return 3
+        baseline = json.loads(BASELINE_PATH.read_text())["workloads"]
+        status = 0
+        for name, result in results.items():
+            base = baseline.get(name)
+            if base is None:
+                print(f"{name}: not in baseline")
+                continue
+            if result["fingerprint"] != base["fingerprint"]:
+                print(f"{name}: DETERMINISM DRIFT — simulated results "
+                      f"changed:\n  baseline: {base['fingerprint']}\n"
+                      f"  current:  {result['fingerprint']}")
+                status = 2
+            else:
+                print(f"{name}: fingerprint bit-identical to baseline")
+        return status
 
     if args.profile is not None:
         report = profile_workloads()
