@@ -54,7 +54,7 @@ from ..sim.sharded import Shard, ShardChannel, ShardedSimulation
 from .stats import percentile
 from .testbed import Testbed
 
-__all__ = ["FLEET_LINK_NS", "FleetScenario", "build_fleet"]
+__all__ = ["FLEET_LINK_NS", "FleetError", "FleetScenario", "build_fleet"]
 
 #: One-way inter-shard link latency (= the synchronizer lookahead).
 FLEET_LINK_NS = 1000
@@ -69,6 +69,27 @@ VALUE_SIZE = 64
 
 _SHARD_MEMORY = 8 * 1024 * 1024
 _GATEWAY_MEMORY = 4 * 1024 * 1024
+
+
+class FleetError(RuntimeError):
+    """A fleet run ended with failed or unfinished processes.
+
+    Typed (instead of a bare ``AssertionError``) so drivers like
+    ``fleet_top`` and the triage CLI can attribute the failure: which
+    beds were implicated and which simulated processes died there.
+    """
+
+    def __init__(self, message: str, beds: List[str],
+                 processes: List[str]):
+        detail = ""
+        if beds:
+            detail = f" [beds: {', '.join(beds)};" \
+                     f" processes: {', '.join(processes)}]"
+        super().__init__(message + detail)
+        #: Implicated bed (shard) names, deduped, stream order.
+        self.beds = beds
+        #: The failed/unfinished simulated process names.
+        self.processes = processes
 
 
 def _zipf_table(num_keys: int = NUM_KEYS, head: int = 64) -> Tuple[int, ...]:
@@ -107,6 +128,9 @@ class _ShardRig:
         self.executed = 0            # requests served by this shard
         self.doorbell_rings = 0      # data-path ring writes (host count)
         self.latencies: List[int] = []
+        #: Simulated time after which this shard's clients stop issuing
+        #: requests (the failover scenario quiesces the doomed shard).
+        self.stop_at: Optional[int] = None
 
         self.server = MemcachedServer(
             bed.server, num_buckets=512, slab_size=1024 * 1024,
@@ -263,7 +287,7 @@ def _gateway(rig: _ShardRig, reply_to: Dict[int, ShardChannel]):
 
 def _client(rig: _ShardRig, ring: HashRing, rigs: List[_ShardRig],
             forward: Dict[int, ShardChannel], gid: int, cid: int,
-            requests: int, start_skew: int):
+            requests: int, start_skew: int, route=None):
     """One closed-loop logical connection on its home shard's gateway.
 
     Local keys run the pooled data path in-place; remote keys are
@@ -271,6 +295,13 @@ def _client(rig: _ShardRig, ring: HashRing, rigs: List[_ShardRig],
     is only indexed for *local* execution — cross-shard interaction
     happens exclusively through the channels, as the synchronizer
     requires.
+
+    ``route`` optionally overrides consistent-hash routing: a pure
+    ``(key, now_ns) -> owner`` function (the failover scenario swaps
+    rings at a deterministic simulated time). ``rig.stop_at`` ends the
+    connection early — before issuing the next request — once the
+    home shard's simulated clock reaches it; the return value counts
+    the requests actually completed.
     """
     sim = rig.sim
     rsp = rig.shard.mailbox(f"rsp{gid}")
@@ -282,10 +313,13 @@ def _client(rig: _ShardRig, ring: HashRing, rigs: List[_ShardRig],
         yield start_skew
     latency_sum = 0
     remote_ops = 0
+    completed = 0
     dither_base = rig.index * 13 + cid * 7
     for seq in range(requests):
+        if rig.stop_at is not None and sim.now >= rig.stop_at:
+            break
         key = _pick_key(rig.index, cid, seq)
-        owner = ring.owner(key)
+        owner = ring.owner(key) if route is None else route(key, sim.now)
         start = sim.now
         # The causal context travels inside the rpc payload (None when
         # capture is off) — payloads are opaque to the fabric, so the
@@ -307,6 +341,7 @@ def _client(rig: _ShardRig, ring: HashRing, rigs: List[_ShardRig],
             remote_ops += 1
         latency = sim.now - start
         latency_sum += latency
+        completed += 1
         rigs[owner].latencies.append(latency)
         if _obs.enabled:
             telemetry = sim.telemetry
@@ -316,7 +351,7 @@ def _client(rig: _ShardRig, ring: HashRing, rigs: List[_ShardRig],
         yield THINK_NS + (dither_base + seq * 31) % 97
     # sim.now here, not the drained-queue frontier: a dangling offload
     # timeout event otherwise inflates the denominator of Mops.
-    return latency_sum, remote_ops, sim.now
+    return latency_sum, remote_ops, completed, sim.now
 
 
 class FleetScenario:
@@ -356,6 +391,9 @@ class FleetScenario:
         self._ran = False
         self._telemetry = None
         self._telemetry_path: Optional[str] = None
+        #: Optional routing override (see :func:`_client`); fault
+        #: scenarios install a time-aware ring swap here before run().
+        self.route = None
 
     @property
     def logical_connections(self) -> int:
@@ -415,20 +453,35 @@ class FleetScenario:
                     _client(rig, self.ring, self.rigs,
                             self._forward[index], gid, cid,
                             self.requests_per_client,
-                            start_skew=index * 157 + cid * 61),
+                            start_skew=index * 157 + cid * 61,
+                            route=self.route),
                     name=f"{rig.shard.name}-client{cid}"))
         if serial:
             self.sharded.run_serial(until=until)
         else:
             self.sharded.run(until=until)
-        failures = self.sharded.failed_processes()
-        if failures:
-            raise AssertionError(f"fleet processes failed: {failures}")
+        failed_beds: List[str] = []
+        failed_names: List[str] = []
+        for rig in self.rigs:
+            dead = list(rig.sim.failed_processes)
+            if dead:
+                failed_beds.append(rig.shard.name)
+                failed_names.extend(p.name for p in dead)
+        if failed_names:
+            raise FleetError(
+                f"{len(failed_names)} fleet process(es) failed",
+                failed_beds, failed_names)
         unfinished = [p for p in client_procs if not p.triggered]
         if unfinished:
-            raise AssertionError(f"clients never finished: {unfinished}")
+            beds = sorted({p.name.split("-")[0] for p in unfinished})
+            raise FleetError(
+                f"{len(unfinished)} client(s) never finished",
+                beds, [p.name for p in unfinished])
 
-        requests = self.logical_connections * self.requests_per_client
+        # Completed-request counts, not the planned total: clients a
+        # fault scenario quiesces early (stop_at) finish cleanly with
+        # fewer requests. For a clean run the sum equals the plan.
+        requests = sum(p.value[2] for p in client_procs)
         latency_sum = sum(p.value[0] for p in client_procs)
         remote_ops = sum(p.value[1] for p in client_procs)
         offload_ops = sum(
@@ -440,7 +493,7 @@ class FleetScenario:
                 pool_stats[stat] = pool_stats.get(stat, 0) + value
         all_latencies = sorted(
             lat for rig in self.rigs for lat in rig.latencies)
-        frontier = max(p.value[2] for p in client_procs)
+        frontier = max(p.value[3] for p in client_procs)
         fingerprint = {
             "requests": requests,
             "latency_sum_ns": latency_sum,

@@ -236,6 +236,9 @@ class CompletionRouter:
             self.stale_cqes.append(
                 (cqe.wq_num, generation, cqe.wr_id & _USER_MASK))
             if _obs.enabled:
+                telemetry = self.sim.telemetry
+                if telemetry is not None:
+                    telemetry.on_stale_cqe(cq)
                 tracer = self.sim.tracer
                 if tracer is not None:
                     tracer.cqe_demux(cq, cqe, stale=True)
@@ -414,6 +417,32 @@ class HashRing:
         if index == len(self._hashes):
             index = 0
         return self._owners[index]
+
+    def without(self, *shards: int) -> "HashRing":
+        """The ring after the given shards leave (failover rebalance).
+
+        The survivors' vnodes keep their positions, so every key owned
+        by a surviving shard stays put and only the departed shards'
+        keys move to their clockwise successors — the consistent-hash
+        property the shard-kill scenario leans on. Shard *indices* are
+        preserved (``num_shards`` stays the same); the departed shards
+        simply own nothing.
+        """
+        dead = set(shards)
+        unknown = [s for s in sorted(dead)
+                   if not 0 <= s < self.num_shards]
+        if unknown:
+            raise ConnError(f"cannot remove unknown shards {unknown} "
+                            f"from a {self.num_shards}-shard ring")
+        survivors = [(h, o) for h, o in zip(self._hashes, self._owners)
+                     if o not in dead]
+        if not survivors:
+            raise ConnError("cannot remove every shard from the ring")
+        ring = HashRing.__new__(HashRing)
+        ring.num_shards = self.num_shards
+        ring._hashes = [point[0] for point in survivors]
+        ring._owners = [point[1] for point in survivors]
+        return ring
 
     def partition(self, keys) -> Dict[int, List[int]]:
         """Group ``keys`` by owning shard (shard -> sorted key list)."""

@@ -43,6 +43,17 @@ typed spans into it (``pool_wait``, ``doorbell_batch``, ``cqe_demux``,
 ``link_wire``, ``gw_wait``), so per-phase blame for a cross-shard get
 sums exactly to its end-to-end latency — see ``tools/tail_blame.py``.
 
+``repro.obs.sentry`` closes the loop: a :class:`FleetSentry` folds
+over the sealed telemetry window stream with deterministic anomaly
+detectors (tail step-changes, queue growth, PU saturation, pool
+pressure, stale-CQE quarantines, request-skew shifts, flatlines,
+throughput collapse), groups time-correlated anomalies into incidents
+with targeted capture (boosted blame-exemplar retention, bounded
+flight-recorder slices, pre/post baselines), and emits a causal
+root-cause report ranking implicated (shard, queue, phase) — see
+``tools/incident_report.py`` and the fault scenarios in
+``repro.bench.faults``.
+
 Fast path
 ---------
 
@@ -71,8 +82,15 @@ __all__ = [
     "export_merged_chrome",
     "MetricsRegistry",
     "Histogram",
+    "HistogramLayoutError",
     "parse_openmetrics",
     "to_openmetrics_multi",
+    "SENTRY_SCHEMA",
+    "DETECTORS",
+    "Anomaly",
+    "Incident",
+    "FleetSentry",
+    "triage_verdict",
     "DEFAULT_WINDOW_NS",
     "TelemetryCollector",
     "FleetTelemetry",
@@ -156,8 +174,15 @@ _LAZY = {
     "export_merged_chrome": "tracer",
     "MetricsRegistry": "metrics",
     "Histogram": "metrics",
+    "HistogramLayoutError": "metrics",
     "parse_openmetrics": "metrics",
     "to_openmetrics_multi": "metrics",
+    "SENTRY_SCHEMA": "sentry",
+    "DETECTORS": "sentry",
+    "Anomaly": "sentry",
+    "Incident": "sentry",
+    "FleetSentry": "sentry",
+    "triage_verdict": "sentry",
     "DEFAULT_WINDOW_NS": "telemetry",
     "TelemetryCollector": "telemetry",
     "FleetTelemetry": "telemetry",

@@ -26,8 +26,18 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Callable, Dict, List
 
-__all__ = ["MetricsRegistry", "Histogram", "parse_openmetrics",
-           "to_openmetrics_multi"]
+__all__ = ["MetricsRegistry", "Histogram", "HistogramLayoutError",
+           "parse_openmetrics", "to_openmetrics_multi"]
+
+
+class HistogramLayoutError(ValueError):
+    """Two histograms (or a snapshot) disagree on bucket layout.
+
+    Merging bucket counts positionally is only sound when both sides
+    use the same power-of-two layout; silently adding mismatched
+    buckets would misaggregate every downstream quantile, so the
+    telemetry rollups fail loudly instead.
+    """
 
 
 def _om_name(name: str) -> str:
@@ -84,7 +94,16 @@ class Histogram:
         which makes the operation associative and commutative — the
         property the telemetry plane's cross-window / cross-bed
         aggregation relies on (``merge(a, b) == merge(b, a)``, tested).
+
+        Raises :class:`HistogramLayoutError` when the two bucket
+        layouts differ in width: positional addition would silently
+        misaggregate.
         """
+        if len(other.counts) != len(self.counts):
+            raise HistogramLayoutError(
+                f"cannot merge {len(other.counts)}-bucket histogram "
+                f"{other.name!r} into {len(self.counts)}-bucket "
+                f"{self.name!r}")
         counts = self.counts
         for bucket, bucket_count in enumerate(other.counts):
             if bucket_count:
@@ -108,11 +127,31 @@ class Histogram:
         (``upper`` is ``2^b - 1``, so ``upper.bit_length()`` is ``b``).
         Telemetry window records embed snapshots; this is how they are
         re-aggregated into run- or fleet-level distributions.
+
+        Raises :class:`HistogramLayoutError` for any bucket upper bound
+        that does not belong to the power-of-two layout (not of the
+        form ``2^b - 1``, negative, or beyond the 64-bucket range) —
+        a snapshot from a differently-bucketed histogram must not be
+        silently folded into this one.
         """
         histogram = cls(name)
         for key, bucket_count in snap.get("buckets", {}).items():
-            upper = int(key[3:]) if key.startswith("le_") else int(key)
-            histogram.counts[upper.bit_length()] += bucket_count
+            try:
+                upper = int(key[3:]) if key.startswith("le_") else int(key)
+            except (TypeError, ValueError):
+                raise HistogramLayoutError(
+                    f"snapshot {name!r}: malformed bucket key {key!r}")
+            bucket = upper.bit_length() if upper >= 0 else -1
+            if (upper < 0 or bucket >= len(histogram.counts)
+                    or upper != ((1 << bucket) - 1 if bucket else 0)):
+                raise HistogramLayoutError(
+                    f"snapshot {name!r}: bucket upper bound {upper} is "
+                    f"not a 2^b-1 power-of-two-layout boundary")
+            if bucket_count < 0:
+                raise HistogramLayoutError(
+                    f"snapshot {name!r}: negative count {bucket_count} "
+                    f"in bucket {key!r}")
+            histogram.counts[bucket] += bucket_count
         histogram.count = snap.get("count", 0)
         histogram.total = snap.get("sum", 0)
         histogram.min = snap.get("min")

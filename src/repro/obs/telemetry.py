@@ -82,7 +82,7 @@ class TelemetryCollector:
                  "_wrs", "_cqes", "_dma_bytes", "_requests", "_serviced",
                  "_pu_busy", "_latency", "_keys", "_depth", "_depth_wmax",
                  "_cq_wmax", "_sq_open_depth", "_run_hist", "exemplar_k",
-                 "_exemplars", "_pool_wait")
+                 "_exemplars", "_pool_wait", "_stale_cqes")
 
     def __init__(self, fleet: "FleetTelemetry", sim, bed: str, shard: int):
         self.fleet = fleet
@@ -117,6 +117,7 @@ class TelemetryCollector:
         self._requests = 0
         self._serviced = 0
         self._pu_busy = 0
+        self._stale_cqes = 0
         self._latency = Histogram()
         self._pool_wait = Histogram()
         self._exemplars: List[dict] = []
@@ -190,6 +191,11 @@ class TelemetryCollector:
             "pu_busy_ns": self._pu_busy,
             "util": round(self._pu_busy / window_ns, 6),
         }
+        if self._stale_cqes:
+            # Conditional field: a healthy fleet quarantines nothing,
+            # and omitting the zero keeps pre-existing streams (and
+            # their byte-identity baselines) unchanged.
+            record["stale_cqes"] = self._stale_cqes
         if self._keys:
             record["keys"] = dict(sorted(self._keys.items()))
         if self._pool_wait.count:
@@ -280,6 +286,11 @@ class TelemetryCollector:
                 self._exemplars.sort(key=exemplar_order)
                 del self._exemplars[self.exemplar_k:]
 
+    def on_stale_cqe(self, cq) -> None:
+        """The shared-CQ demux quarantined one stale CQE."""
+        self._touch()
+        self._stale_cqes += 1
+
     def serviced(self) -> None:
         """A frontend finished servicing one inbound request."""
         self._touch()
@@ -310,6 +321,7 @@ class FleetTelemetry:
         self.records: List[dict] = []
         self.sink = sink
         self.collectors: List[TelemetryCollector] = []
+        self._observers: List = []
         self._closed = False
 
     def __repr__(self) -> str:
@@ -330,6 +342,20 @@ class FleetTelemetry:
         self.collectors.append(collector)
         _activate()
         return collector
+
+    def subscribe(self, observer) -> None:
+        """Register a callable invoked with every sealed record batch.
+
+        Observers see exactly the emitted stream: batches partition it,
+        each batch is sorted in the canonical ``(window, shard)`` order,
+        and the concatenation is byte-identical between drive modes.
+        Batch *boundaries* are drive-mode dependent (they follow the
+        synchronizer's flush cadence), so a deterministic observer must
+        fold over records one at a time and never key decisions on
+        where a batch starts or ends — the contract
+        :class:`repro.obs.sentry.FleetSentry` is built on.
+        """
+        self._observers.append(observer)
 
     # -- emission ---------------------------------------------------------
 
@@ -359,6 +385,9 @@ class FleetTelemetry:
             self.sink.write("".join(
                 json.dumps(record, sort_keys=True) + "\n"
                 for record in batch))
+        if batch:
+            for observer in self._observers:
+                observer(batch)
         return batch
 
     def finalize(self) -> List[dict]:

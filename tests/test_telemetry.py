@@ -28,8 +28,9 @@ from pathlib import Path
 
 import pytest
 
-from repro.obs.metrics import (Histogram, MetricsRegistry,
-                               parse_openmetrics, to_openmetrics_multi)
+from repro.obs.metrics import (Histogram, HistogramLayoutError,
+                               MetricsRegistry, parse_openmetrics,
+                               to_openmetrics_multi)
 from repro.obs.telemetry import (BurnAlert, FleetTelemetry, SloRule,
                                  evaluate_slo, load_slo_rules,
                                  metric_value, summarize_records)
@@ -86,6 +87,36 @@ def test_snapshot_round_trip():
     rebuilt = Histogram.from_snapshot(histogram.snapshot())
     assert rebuilt.snapshot() == histogram.snapshot()
     assert rebuilt.quantile(0.99) == histogram.quantile(0.99)
+
+
+def test_merge_rejects_mismatched_bucket_layout():
+    narrow = _hist(SAMPLES_A)
+    wide = _hist(SAMPLES_B)
+    wide.counts = wide.counts + [0] * 8   # a differently-bucketed peer
+    with pytest.raises(HistogramLayoutError):
+        narrow.merge(wide)
+    with pytest.raises(HistogramLayoutError):
+        wide.merge(narrow)
+    # The failed merge must not have mutated the receiver.
+    assert narrow.snapshot() == _hist(SAMPLES_A).snapshot()
+
+
+@pytest.mark.parametrize("buckets", [
+    {"le_5": 1},          # 5 is not 2^b - 1
+    {"le_-1": 1},         # negative upper bound
+    {"le_x": 1},          # malformed key
+    {str(1 << 80): 1},    # beyond the 64-bucket layout
+    {"le_7": -3},         # negative count
+])
+def test_from_snapshot_rejects_foreign_layouts(buckets):
+    with pytest.raises(HistogramLayoutError):
+        Histogram.from_snapshot({"buckets": buckets, "count": 1,
+                                 "sum": 1})
+
+
+def test_layout_error_is_a_value_error():
+    # Callers that predate the typed error still catch it.
+    assert issubclass(HistogramLayoutError, ValueError)
 
 
 @pytest.mark.parametrize("fraction", [0.5, 0.9, 0.99, 0.999])

@@ -133,6 +133,9 @@ def main(argv=None) -> int:
                              "their simulator speeds")
     parser.add_argument("--reps", type=int, default=3,
                         help="perf_smoke reps per workload (default 3)")
+    parser.add_argument("--no-triage", action="store_true",
+                        help="with --append: skip the incident-triage "
+                             "fault scenarios (storm/failover/clean)")
     parser.add_argument("--last", type=int, default=0, metavar="N",
                         help="only show the last N runs")
     parser.add_argument("--json", action="store_true",
@@ -163,6 +166,23 @@ def main(argv=None) -> int:
         tails = measure_tails()
         for name, tail in sorted(tails.items()):
             print(f"{name}: p99 {tail:,d}ns", file=sys.stderr)
+        if not args.no_triage:
+            # Triage trajectory: incidents raised and mean detection
+            # latency per fault scenario, so a detector regression
+            # (missed storm, false positive on clean) shows up as a
+            # column flip in the history table.
+            from repro.bench.faults import SCENARIOS, run_triage
+            for scenario in SCENARIOS:
+                verdict = run_triage(scenario, capture=False).verdict
+                metrics = {"incidents": verdict["incidents"]}
+                line = (f"triage_{scenario}: "
+                        f"{verdict['incidents']} incident(s)")
+                if verdict["mean_detection_ns"] is not None:
+                    metrics["detect_ns"] = verdict["mean_detection_ns"]
+                    line += (f", detected after "
+                             f"{verdict['mean_detection_ns']:,.0f}ns")
+                figs[f"triage_{scenario}"] = metrics
+                print(line, file=sys.stderr)
         entry = append_entry(args.history, events_per_sec=rates,
                              figs=figs, p99_ns=tails)
         print(f"recorded {entry['sha']} in {args.history}",

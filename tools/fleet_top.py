@@ -182,9 +182,19 @@ def main(argv=None) -> int:
     else:
         args.window = args.window or DEFAULT_WINDOW_NS
         label = "fleet" if args.fleet else "cluster"
+        from repro.bench.fleet import FleetError
         try:
             runner = run_fleet if args.fleet else run_cluster
             records, fingerprint, measures = runner(args)
+        except FleetError as exc:
+            # Typed fleet failure: name the implicated beds and dead
+            # simulated processes instead of a bare traceback.
+            print(f"fleet_top: {label} run failed: {exc}",
+                  file=sys.stderr)
+            for bed, process in zip(exc.beds, exc.processes):
+                print(f"fleet_top:   bed {bed}: {process}",
+                      file=sys.stderr)
+            return 2
         except Exception as exc:  # scenario misconfiguration
             print(f"fleet_top: {label} run failed: {exc}",
                   file=sys.stderr)

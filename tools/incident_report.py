@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""incident_report: run a fleet fault scenario and triage it.
+
+Drives one of the deterministic fault scenarios from
+``repro.bench.faults`` — ``storm`` (CPU-contention storm on the hot
+shard, fig15 generalized), ``failover`` (shard-kill with HashRing
+rebalancing, fig16 generalized) or ``clean`` (no fault) — with the
+telemetry plane and the :class:`~repro.obs.sentry.FleetSentry`
+attached, then renders the incident report::
+
+    PYTHONPATH=src python tools/incident_report.py storm        # table
+    PYTHONPATH=src python tools/incident_report.py failover --timeline
+    PYTHONPATH=src python tools/incident_report.py storm --json -
+    PYTHONPATH=src python tools/incident_report.py storm --flame -
+    PYTHONPATH=src python tools/incident_report.py clean \\
+        --fail-on-false-positive                                # CI gate
+    PYTHONPATH=src python tools/incident_report.py storm --serial \\
+        --json storm.json       # byte-identical to the sharded drive
+
+The report is deterministic: byte-identical between the sharded and
+serial drives (``--serial``) and across repeat runs. Every injected
+fault is matched against the detected incidents
+(:func:`~repro.obs.sentry.triage_verdict`): a fault no incident
+explains is *missed*; an incident no fault explains is a *false
+positive*; detection latency is simulated ns from injection to the
+matching incident's open timestamp.
+
+Exit codes: 0 ok; 1 triage gate failed (``--fail-on-unexplained`` with
+a missed fault, ``--fail-on-false-positive`` with an unmatched
+incident, or ``--expect-incidents`` mismatch); 2 scenario error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+for path in (str(SRC), str(REPO_ROOT / "tools")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+def render_report(run) -> str:
+    from repro.bench import render_table
+
+    report = run.report
+    verdict = run.verdict
+    lines = []
+    drive = "serial" if run.serial else "sharded"
+    lines.append(
+        f"{run.scenario} ({drive}): {run.fingerprint['requests']} "
+        f"requests, frontier {run.fingerprint['frontier_ns']}ns, "
+        f"{report['records_seen']} telemetry records, "
+        f"{report['anomalies_total']} anomalies, "
+        f"{len(report['incidents'])} incident(s)")
+    for fault in run.faults:
+        cleared = (f" .. {fault['t_clear_ns']}ns"
+                   if fault.get("t_clear_ns") else "")
+        lines.append(
+            f"fault: {fault['kind']} on {fault['bed']} at "
+            f"{fault['t_inject_ns']}ns{cleared} {fault['detail']}")
+    for incident in report["incidents"]:
+        lines.append("")
+        lines.append(
+            f"incident #{incident['id']}: windows "
+            f"[{incident['first_window']}, {incident['last_window']}], "
+            f"opened {incident['open_at_ns']}ns, shards "
+            f"{incident['shards']}")
+        headers = ["rank", "detector", "shard", "queue", "phase",
+                   "value", "baseline", "sev", "at ns"]
+        rows = [[str(c["rank"]), c["detector"], str(c["shard"]),
+                 str(c["queue"] or "-"), c["phase"], str(c["value"]),
+                 str(c["baseline"]), f"{c['severity']:.2f}",
+                 str(c["at_ns"])]
+                for c in incident["causes"]]
+        lines.append(render_table(
+            headers, rows, title=f"ranked causes — incident "
+                                 f"#{incident['id']}"))
+        diff = incident.get("blame_diff")
+        if diff and diff.get("phases"):
+            top = diff["phases"][0]
+            lines.append(
+                f"blame diff vs pre-incident baseline: p99 "
+                f"{diff.get('baseline_p99_ns')} -> "
+                f"{diff.get('p99_ns')}ns; biggest mover: "
+                f"{top['phase']} ({top['delta_ns']:+}ns mean)")
+        capture = incident.get("capture")
+        if capture:
+            lines.append(
+                f"capture: {capture['records']} flight-recorder "
+                f"records from {capture['bed']} over "
+                f"[{capture['from_ns']}, {capture['to_ns']}]ns "
+                f"{capture['kinds']}"
+                + (" (truncated)" if capture["truncated"] else ""))
+    lines.append("")
+    for entry in verdict["explained"]:
+        lines.append(
+            f"explained: {entry['fault']['kind']} on shard "
+            f"{entry['fault']['shard']} -> incident "
+            f"#{entry['incident']} ({entry['top_cause']['detector']} / "
+            f"{entry['top_cause']['phase']}) after "
+            f"{entry['detection_latency_ns']}ns")
+    for fault in verdict["missed"]:
+        lines.append(f"MISSED: {fault['kind']} on shard "
+                     f"{fault['shard']} matched no incident")
+    for incident_id in verdict["false_positives"]:
+        lines.append(f"FALSE POSITIVE: incident #{incident_id} "
+                     f"matched no fault")
+    if not run.faults and not report["incidents"]:
+        lines.append("clean: no faults injected, no incidents raised")
+    return "\n".join(lines)
+
+
+def render_timeline(report) -> str:
+    lines = []
+    for incident in report["incidents"]:
+        lines.append(f"incident #{incident['id']} timeline:")
+        for event in incident["timeline"]:
+            lines.append(f"  {event['at_ns']:>10}ns  "
+                         f"{event['event']:<8} {event['detail']}")
+    return "\n".join(lines) if lines else "no incidents"
+
+
+def render_flame(report) -> str:
+    from repro.obs.blame import folded_blame
+    lines = []
+    for incident in report["incidents"]:
+        lines.extend(folded_blame([{"exemplars": incident["exemplars"],
+                                    "shard": None}]))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    from repro.bench.faults import SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("scenario", choices=SCENARIOS,
+                        help="fault scenario to run and triage")
+    parser.add_argument("--serial", action="store_true",
+                        help="drive the serial merge instead of the "
+                             "sharded synchronizer (identical report)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--clients", type=int, default=16,
+                        help="clients per shard (default 16)")
+    parser.add_argument("--requests", type=int, default=16,
+                        help="requests per client (default 16)")
+    parser.add_argument("--window", type=int, default=20_000,
+                        metavar="NS", help="telemetry window width")
+    parser.add_argument("--exemplars", type=int, default=4, metavar="K",
+                        help="tail exemplars kept per window record")
+    parser.add_argument("--no-capture", action="store_true",
+                        help="skip the per-fault flight recorders")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the full incident report as JSON "
+                             "('-' for stdout); this is the "
+                             "byte-identity surface")
+    parser.add_argument("--timeline", action="store_true",
+                        help="print per-incident event timelines")
+    parser.add_argument("--flame", metavar="FILE",
+                        help="write incident exemplars as flamegraph "
+                             "folded stacks ('-' for stdout)")
+    parser.add_argument("--expect-incidents", type=int, metavar="N",
+                        help="exit 1 unless exactly N incidents")
+    parser.add_argument("--fail-on-unexplained", action="store_true",
+                        help="exit 1 if any injected fault matched no "
+                             "incident")
+    parser.add_argument("--fail-on-false-positive", action="store_true",
+                        help="exit 1 if any incident matched no fault")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the table (exports/gates only)")
+    args = parser.parse_args(argv)
+
+    from repro.bench.faults import run_triage
+    from repro.bench.fleet import FleetError
+    try:
+        run = run_triage(
+            args.scenario, serial=args.serial, num_shards=args.shards,
+            clients_per_shard=args.clients,
+            requests_per_client=args.requests, window_ns=args.window,
+            exemplars=args.exemplars, capture=not args.no_capture)
+    except FleetError as exc:
+        print(f"incident_report: fleet run failed: {exc}",
+              file=sys.stderr)
+        for bed, process in zip(exc.beds, exc.processes):
+            print(f"incident_report:   bed {bed}: {process}",
+                  file=sys.stderr)
+        return 2
+    except (ValueError, RuntimeError) as exc:
+        print(f"incident_report: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        if args.json == "-":
+            sys.stdout.write(run.report_json)
+        else:
+            Path(args.json).write_text(run.report_json)
+            print(f"wrote incident report to {args.json}",
+                  file=sys.stderr)
+    if args.flame:
+        text = render_flame(run.report) + "\n"
+        if args.flame == "-":
+            sys.stdout.write(text)
+        else:
+            Path(args.flame).write_text(text)
+    if not args.quiet:
+        print(render_report(run))
+        if args.timeline:
+            print()
+            print(render_timeline(run.report))
+
+    verdict = run.verdict
+    failed = []
+    if (args.expect_incidents is not None
+            and verdict["incidents"] != args.expect_incidents):
+        failed.append(f"expected {args.expect_incidents} incident(s), "
+                      f"got {verdict['incidents']}")
+    if args.fail_on_unexplained and verdict["missed"]:
+        failed.append(f"{len(verdict['missed'])} fault(s) unexplained")
+    if args.fail_on_false_positive and verdict["false_positives"]:
+        failed.append(f"incident(s) {verdict['false_positives']} "
+                      f"matched no fault")
+    for reason in failed:
+        print(f"incident_report: GATE FAILED: {reason}",
+              file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
